@@ -1,0 +1,77 @@
+// Experiment T-4.2 — the Sec 4.2 countermeasure, measured:
+//
+//  - secure proof of the firmware-constraint variant (iteration trace),
+//  - ablation: hardware guard (DMA physically cut off the private crossbar),
+//  - negative controls: countermeasure without the private mapping, and the
+//    baseline without any constraints,
+//  - firmware-constraint compliance check in simulation: a legal DMA config
+//    works; an illegal one (src in private RAM) either leaks (baseline) or is
+//    inert (hardware guard).
+#include <cstdio>
+
+#include "sim/task.h"
+#include "upec/report.h"
+
+namespace {
+
+void formal_row(const char* name, const upec::soc::Soc& soc, upec::VerifyOptions options) {
+  using namespace upec;
+  UpecContext ctx(soc, std::move(options));
+  const Alg1Result r = run_alg1(ctx);
+  std::printf("%-46s %-12s %4zu iter   %8.3f s\n", name, verdict_name(r.verdict),
+              r.iterations.size(), r.total_seconds);
+}
+
+} // namespace
+
+int main() {
+  using namespace upec;
+  soc::SocConfig cfg;
+  cfg.pub_ram_words = 16;
+  cfg.priv_ram_words = 8;
+  const soc::Soc base = soc::build_pulpissimo(cfg);
+  soc::SocConfig gcfg = cfg;
+  gcfg.hw_private_guard = true;
+  const soc::Soc guarded = soc::build_pulpissimo(gcfg);
+
+  std::printf("# T-4.2 — countermeasure evaluation (formal)\n\n");
+  std::printf("%-46s %-12s %-12s %-10s\n", "configuration", "verdict", "iterations", "time");
+  formal_row("baseline (no constraints)", base, VerifyOptions{});
+  formal_row("countermeasure (priv mapping + fw constraints)", base, countermeasure_options());
+  {
+    VerifyOptions v = countermeasure_options();
+    v.macros.victim_regions = {soc::AddrMap::kPubRam};
+    formal_row("fw constraints only (victim still in pub RAM)", base, std::move(v));
+  }
+  {
+    VerifyOptions v;
+    v.macros.victim_regions = {soc::AddrMap::kPrivRam};
+    formal_row("priv mapping only (no fw constraints)", base, std::move(v));
+  }
+  formal_row("hardware guard ablation", guarded, countermeasure_options());
+
+  // --- firmware-constraint compliance in simulation --------------------------------
+  std::printf("\nfirmware-constraint compliance (simulation):\n");
+  auto dma_copy = [](const soc::Soc& s, std::uint32_t src, std::uint32_t dst) {
+    sim::Simulator sim(*s.design);
+    sim::BusDriver cpu(sim);
+    const std::uint32_t d = s.map.region(soc::AddrMap::kDma).base;
+    cpu.run_op(sim::store(src, 0x5ec2e7));
+    cpu.run(sim::TaskScript{sim::store(d + 0x0, src), sim::store(d + 0x4, dst),
+                            sim::store(d + 0x8, 1), sim::store(d + 0xC, 1)});
+    cpu.drain(60);
+    return static_cast<std::uint32_t>(cpu.run_op(sim::load(dst)));
+  };
+  const std::uint32_t pub = base.map.region(soc::AddrMap::kPubRam).base;
+  const std::uint32_t priv = base.map.region(soc::AddrMap::kPrivRam).base;
+  std::printf("  legal copy pub->pub:               copied=%s\n",
+              dma_copy(base, pub, pub + 0x20) == 0x5ec2e7 ? "yes" : "no");
+  std::printf("  illegal copy priv->pub (baseline): copied=%s  <- the gap fw constraints close\n",
+              dma_copy(base, priv, pub + 0x20) == 0x5ec2e7 ? "yes" : "no");
+  std::printf("  illegal copy priv->pub (hw guard): copied=%s\n",
+              dma_copy(guarded, priv, pub + 0x20) == 0x5ec2e7 ? "yes" : "no");
+
+  std::printf("\n# paper shape: only the full countermeasure (private mapping + restricted\n");
+  std::printf("# IP configurations) yields `secure`, after 3 iterations.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Experiment F2 — Fig. 2: reduction of the property time window.
+//
+// The paper's argument: a property describing the *entire* attack (hundreds
+// to thousands of cycles across preparation, recording and retrieval) is
+// computationally infeasible; Obs. 1 folds the preparation phase into the
+// symbolic starting state, Obs. 2 bounds the window at the first effect on
+// S_pers — two cycles suffice.
+//
+// This bench quantifies that argument on our SoC: cost of one UPEC-SSC check
+// as a function of the window length k (CNF growth and solver time), next to
+// the window each formulation needs. The exponential-ish growth of per-check
+// cost with k is exactly why the 2-cycle formulation matters.
+#include <chrono>
+#include <cstdio>
+
+#include "upec/report.h"
+
+int main() {
+  using namespace upec;
+  soc::SocConfig cfg;
+  cfg.pub_ram_words = 16;
+  cfg.priv_ram_words = 8;
+  const soc::Soc soc = soc::build_pulpissimo(cfg);
+
+  std::printf("# F2 — property window reduction (Fig. 2)\n\n");
+  std::printf("cost of one UPEC-SSC check vs window length k (fresh context per k):\n");
+  std::printf("%-4s %-14s %-14s %-12s %-12s\n", "k", "cnf_vars", "gate_clauses", "time[s]",
+              "conflicts");
+
+  for (unsigned k = 1; k <= 6; ++k) {
+    UpecContext ctx(soc);
+    ipc::BoundedProperty prop;
+    prop.window = k;
+    prop.assumptions = ctx.macros.assumptions(k);
+    const StateSet S = s_not_victim(ctx.svt);
+    std::vector<encode::Lit> diffs;
+    for (rtlir::StateVarId sv : S.to_vector()) {
+      prop.assumptions.push_back(ctx.miter.eq_assumption(sv));
+      diffs.push_back(ctx.miter.diff_literal(sv, k));
+    }
+    prop.violation = ctx.engine.violation_any(ctx.miter.cnf(), diffs);
+    const ipc::CheckResult r = ctx.engine.check(prop);
+    std::printf("%-4u %-14llu %-14llu %-12.3f %-12llu\n", k,
+                static_cast<unsigned long long>(ctx.miter.cnf().num_aux_vars()),
+                static_cast<unsigned long long>(ctx.miter.cnf().num_gate_clauses()),
+                r.seconds, static_cast<unsigned long long>(r.conflicts));
+  }
+
+  std::printf("\nwindow each formulation needs (cycles covered by the bounded property):\n");
+  std::printf("  naive (entire 3-phase attack):        O(100..1000s)  [infeasible]\n");
+  std::printf("  + Obs.1 (symbolic start = preparation): recording + retrieval window\n");
+  std::printf("  + Obs.2 (stop at first S_pers effect):  2 cycles (Fig. 3 property)\n");
+  std::printf("\n# shape check (paper): per-check cost grows steeply with k, while the\n");
+  std::printf("# 2-cycle property already yields unbounded-validity verdicts.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Experiment T-SCALE — scalability of the method with design size.
+//
+// The paper's claim: UPEC-SSC is "scalable for an SoC of realistic size"
+// (their Pulpissimo build has >5M state bits; per-iteration runtimes ranged
+// from 58 s to 2 h 52 min on a commercial property checker). Our SoC
+// generator is parameterized, so the claim's *shape* — proof cost grows
+// benignly (roughly linearly in state bits for the memory-dominated sweep,
+// not exponentially) because the property window stays at 2 cycles — can be
+// measured directly. Both verdicts are exercised: vulnerable detection on the
+// baseline and the 3-iteration secure proof on the countermeasure build.
+#include <cstdio>
+
+#include "rtlir/pretty.h"
+#include "upec/report.h"
+
+int main() {
+  using namespace upec;
+
+  std::printf("# T-SCALE — proof cost vs SoC size (2-cycle property, Alg. 1)\n\n");
+  std::printf("%-10s %-10s %-12s %-12s %-14s %-12s %-12s %-10s\n", "pub_words", "priv_words",
+              "state_vars", "state_bits", "cnf_clauses", "detect[s]", "secure[s]", "verdicts");
+
+  for (std::uint32_t pub : {8u, 16u, 32u, 64u, 128u}) {
+    soc::SocConfig cfg;
+    cfg.pub_ram_words = pub;
+    cfg.priv_ram_words = pub / 2;
+    const soc::Soc soc = soc::build_pulpissimo(cfg);
+    const rtlir::DesignStats stats = rtlir::design_stats(*soc.design);
+
+    UpecContext vctx(soc);
+    const Alg1Result vul = run_alg1(vctx);
+    UpecContext sctx(soc, countermeasure_options());
+    const Alg1Result sec = run_alg1(sctx);
+
+    std::printf("%-10u %-10u %-12zu %-12zu %-14llu %-12.3f %-12.3f %s/%s\n", pub, pub / 2,
+                stats.state_vars, stats.state_bits,
+                static_cast<unsigned long long>(vctx.miter.cnf().num_gate_clauses()),
+                vul.total_seconds, sec.total_seconds, verdict_name(vul.verdict),
+                verdict_name(sec.verdict));
+  }
+  std::printf("\n# shape check (paper): verdicts stay vulnerable/secure at every size;\n");
+  std::printf("# cost grows with state count (memory mux trees + more assumptions) but\n");
+  std::printf("# the bounded window keeps the growth polynomial, not exponential.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// The paper's newly discovered, timer-free BUSted variant (Sec 4.1), run
+// end-to-end on the generated RTL:
+//
+//   preparation — the attacker primes a public-RAM region with zeros and
+//                 programs the HWPE to progressively overwrite it,
+//   recording   — the victim performs a secret number of accesses to the
+//                 same memory device; each one steals an arbitration slot,
+//   retrieval   — the attacker reads back the overwrite progress; the lag
+//                 encodes the victim's access count. No timer involved.
+//
+// The same scenario is then run with the victim's working set in the private
+// memory (the Sec 4.2 countermeasure): the channel disappears.
+#include <cstdio>
+
+#include "sim/attack.h"
+
+int main() {
+  using namespace upec;
+  const soc::Soc soc = soc::build_pulpissimo();
+
+  std::printf("timer-free BUSted variant: HWPE overwrite progress vs victim activity\n\n");
+  std::printf("%-18s %-12s %-12s %-10s\n", "victim accesses", "PROGRESS", "highwater",
+              "lag");
+
+  const std::uint32_t calibration = sim::run_hwpe_attack(soc, 0).progress_observed;
+  for (std::uint32_t secret = 0; secret <= 8; ++secret) {
+    const sim::HwpeAttackResult r = sim::run_hwpe_attack(soc, secret);
+    std::printf("%-18u %-12u %-12u %-10d\n", secret, r.progress_observed, r.highwater_mark,
+                static_cast<int>(calibration) - static_cast<int>(r.progress_observed));
+  }
+
+  std::printf("\nwith the countermeasure (victim working set in private RAM):\n\n");
+  sim::AttackConfig cm;
+  cm.victim_uses_private_ram = true;
+  const std::uint32_t cm_calibration = sim::run_hwpe_attack(soc, 0, cm).progress_observed;
+  std::printf("%-18s %-12s %-10s\n", "victim accesses", "PROGRESS", "lag");
+  for (std::uint32_t secret = 0; secret <= 8; secret += 2) {
+    const sim::HwpeAttackResult r = sim::run_hwpe_attack(soc, secret, cm);
+    std::printf("%-18u %-12u %-10d\n", secret, r.progress_observed,
+                static_cast<int>(cm_calibration) - static_cast<int>(r.progress_observed));
+  }
+  std::printf("\nthe lag column is the side channel: nonzero and monotone without the\n"
+              "countermeasure, identically zero with it.\n");
+  return 0;
+}

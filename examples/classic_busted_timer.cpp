@@ -1,0 +1,59 @@
+// The classic BUSted-style attack of Fig. 1: the attacker configures the DMA
+// and routes its completion event to the timer's hardware start input. Victim
+// bus contention delays the DMA, hence the timer starts later, hence the
+// COUNT register read after the context switch is smaller. The cycle-by-cycle
+// divergence of a victim-active vs victim-idle pair of runs is also shown
+// with the lockstep simulator — the concrete analogue of the UPEC miter.
+#include <cstdio>
+
+#include "sim/attack.h"
+#include "sim/lockstep.h"
+#include "sim/task.h"
+
+int main() {
+  using namespace upec;
+  const soc::Soc soc = soc::build_pulpissimo();
+
+  std::printf("classic BUSted (Fig. 1): DMA done -> timer start, COUNT vs victim activity\n\n");
+  std::printf("%-18s %-12s %-10s\n", "victim accesses", "timer COUNT", "dma done");
+  for (std::uint32_t secret = 0; secret <= 8; secret += 2) {
+    const sim::TimerAttackResult r = sim::run_timer_attack(soc, secret);
+    std::printf("%-18u %-12u %-10s\n", secret, r.timer_count,
+                r.dma_done_event ? "yes" : "no");
+  }
+
+  // Lockstep divergence trace: run two copies of the SoC with identical
+  // attacker setup; copy B's victim additionally stores to the public RAM.
+  std::printf("\nlockstep divergence (victim idle vs one victim access):\n\n");
+  rtlir::StateVarTable svt(*soc.design);
+  sim::Lockstep pair(*soc.design, svt);
+  sim::BusDriver cpu_a(pair.inst_a());
+  sim::BusDriver cpu_b(pair.inst_b());
+
+  const std::uint32_t ram = soc.map.region(soc::AddrMap::kPubRam).base;
+  const std::uint32_t hwpe = soc.map.region(soc::AddrMap::kHwpe).base;
+  // Identical preparation in both instances.
+  for (sim::BusDriver* cpu : {&cpu_a, &cpu_b}) {
+    cpu->run(sim::TaskScript{
+        sim::store(hwpe + 0x0, ram), // DST
+        sim::store(hwpe + 0x4, 16),  // LEN
+        sim::store(hwpe + 0x8, 1),   // go
+    });
+  }
+  // Victim window: instance A idles; instance B makes two back-to-back
+  // protected accesses (to the last RAM word, outside the HWPE's primed
+  // region) — two, so that one of them is guaranteed to collide with a
+  // request slot of the initiation-interval-2 streamer.
+  pair.inst_a().set_input("soc.cpu.req", 0);
+  cpu_b.run_op(sim::store(ram + 0x7c, 0xdeadbeef));
+  cpu_b.run_op(sim::store(ram + 0x7c, 0xdeadbee5));
+  pair.inst_b().set_input("soc.cpu.req", 0);
+  while (pair.inst_a().cycle() < pair.inst_b().cycle()) pair.inst_a().step();
+  for (int i = 0; i < 12; ++i) pair.step();
+
+  std::printf("%s\n", pair.describe_divergence().c_str());
+  std::printf("note the pattern the formal method predicts: differences appear first in\n"
+              "transient interconnect state (xbar stage registers), then reach persistent\n"
+              "attacker-accessible state (hwpe.progress_q, memory words).\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// The Sec 4.2 case study: prove the SoC secure after applying the
+// countermeasure — map the security-critical victim region into the private
+// memory device (its own crossbar) and restrict the DMA, the only other IP
+// that can reach it, to legal configurations via firmware constraints.
+//
+// Expected output mirrors the paper: the procedure converges after three
+// iterations and reports `secure`, with the final inductive set S satisfying
+// S_pers ⊆ S ⊆ S_¬victim.
+#include <cstdio>
+
+#include "upec/report.h"
+
+int main() {
+  using namespace upec;
+  soc::SocConfig cfg;
+  cfg.pub_ram_words = 16;
+  cfg.priv_ram_words = 8;
+  const soc::Soc soc = soc::build_pulpissimo(cfg);
+
+  std::printf("baseline (victim range anywhere in RAM, no firmware constraints):\n\n");
+  {
+    UpecContext ctx(soc);
+    const Alg1Result r = run_alg1(ctx);
+    std::printf("%s\n", render_report(ctx, r).c_str());
+  }
+
+  std::printf("with the countermeasure (victim range in private RAM + DMA firmware "
+              "constraints):\n\n");
+  {
+    UpecContext ctx(soc, countermeasure_options());
+    const Alg1Result r = run_alg1(ctx);
+    std::printf("%s\n", render_report(ctx, r).c_str());
+    if (r.verdict != Verdict::Secure) return 1;
+  }
+  return 0;
+}

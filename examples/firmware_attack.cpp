@@ -1,0 +1,117 @@
+// The timer-free BUSted variant as *real software*: the SoC is built with its
+// 2-stage RV32I core, and the three attack phases run as RISC-V firmware
+// (assembled in-line) — the closest analogue of the paper's software-driven
+// scenario that fits in one address space:
+//
+//   preparation — firmware programs the HWPE to overwrite a primed region,
+//   recording   — a "victim" loop performs a secret number of stores to the
+//                 same memory device, stealing arbitration slots,
+//   retrieval   — firmware reads the PROGRESS register into x20.
+//
+// To make runs comparable, the harness also samples PROGRESS from outside at
+// one fixed absolute cycle; the firmware's own x20 readout demonstrates that
+// the attacker needs nothing but a load instruction.
+#include <cstdio>
+#include <vector>
+
+#include "sim/asm.h"
+#include "sim/simulator.h"
+#include "soc/pulpissimo.h"
+
+namespace rv = upec::sim::rv;
+
+namespace {
+
+struct Result {
+  std::uint32_t progress_at_cycle = 0; // harness sample at a fixed cycle
+  std::uint32_t firmware_x20 = 0;      // the attacker's own readout
+};
+
+Result run_firmware(const upec::soc::Soc& soc, std::uint32_t secret_stores) {
+  using namespace upec;
+  const std::uint32_t ram = soc.map.region(soc::AddrMap::kPubRam).base;
+  const std::uint32_t hwpe = soc.map.region(soc::AddrMap::kHwpe).base;
+
+  std::vector<std::uint32_t> p;
+  auto emit = [&](std::vector<std::uint32_t> v) { p.insert(p.end(), v.begin(), v.end()); };
+
+  // --- preparation: program and start the HWPE --------------------------------
+  emit(rv::li32(1, hwpe));
+  emit(rv::li32(2, ram));
+  p.push_back(rv::sw(2, 1, 0x0));      // DST  = ram base
+  p.push_back(rv::addi(3, 0, 120));    // LEN  = 120 words
+  p.push_back(rv::sw(3, 1, 0x4));
+  p.push_back(rv::addi(3, 0, 1));
+  p.push_back(rv::sw(3, 1, 0x8));      // CTRL.go
+
+  // --- recording: constant-time victim loop ------------------------------------
+  // 8 iterations; iteration i contends (stores to the public RAM) iff
+  // i <= secret, otherwise it performs the same store to the private RAM —
+  // identical instruction stream either way, so the loop's own timing does
+  // not encode the secret. Two back-to-back stores per iteration cover both
+  // parities of the HWPE's initiation-interval-2 request slots.
+  const std::uint32_t priv =
+      soc.map.region(soc::AddrMap::kPrivRam).base + soc.map.region(soc::AddrMap::kPrivRam).size -
+      4;
+  const std::uint32_t pub_victim = ram + 0x1fc; // last word, outside the region
+  emit(rv::li32(6, priv));                     // x6 = private (non-contending) word
+  emit(rv::li32(10, pub_victim - priv));       // x10 = address delta to the public word
+  p.push_back(rv::addi(7, 0, static_cast<std::int32_t>(secret_stores))); // x7 = secret
+  p.push_back(rv::addi(5, 0, 8));              // x5 = i
+  const std::int32_t loop_top = static_cast<std::int32_t>(p.size() * 4);
+  p.push_back(rv::slt(8, 7, 5));               // x8 = (secret < i): no contention
+  p.push_back(rv::addi(8, 8, -1));             // all-ones when contending, else 0
+  p.push_back(rv::and_(9, 8, 10));             // delta or 0
+  p.push_back(rv::add(9, 9, 6));               // x9 = store target
+  p.push_back(rv::sw(5, 9, 0));                // two stores: both request-slot
+  p.push_back(rv::sw(5, 9, 0));                // parities of the streamer covered
+  p.push_back(rv::addi(5, 5, -1));
+  const std::int32_t here = static_cast<std::int32_t>(p.size() * 4);
+  p.push_back(rv::bne(5, 0, loop_top - here));
+  // --- retrieval: read PROGRESS into x20 (fixed position in the stream) ---------
+  p.push_back(rv::lw(20, 1, 0x10));
+  p.push_back(rv::jal(0, 0));                  // halt
+
+  sim::Simulator sim(*soc.design);
+  const auto imem = static_cast<std::uint32_t>(soc.cpu_imem);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    sim.set_mem_word(imem, static_cast<std::uint32_t>(i), p[i]);
+  }
+
+  Result r;
+  constexpr std::uint64_t kSampleCycle = 90;
+  for (std::uint64_t c = 0; c < 400; ++c) {
+    if (c == kSampleCycle) {
+      r.progress_at_cycle = static_cast<std::uint32_t>(sim.output(soc::probe::kHwpeProgress));
+    }
+    sim.step();
+  }
+  r.firmware_x20 = static_cast<std::uint32_t>(
+      sim.mem_word(static_cast<std::uint32_t>(soc.cpu_regfile), 20));
+  return r;
+}
+
+} // namespace
+
+int main() {
+  using namespace upec;
+  soc::SocConfig cfg;
+  cfg.with_cpu = true;
+  cfg.pub_ram_words = 128;
+  cfg.priv_ram_words = 16;
+  const soc::Soc soc = soc::build_pulpissimo(cfg);
+
+  std::printf("timer-free BUSted variant as RV32 firmware on the full-core SoC\n\n");
+  std::printf("%-14s %-22s %-18s\n", "secret", "progress@cycle90", "firmware x20");
+  const Result calib = run_firmware(soc, 0);
+  for (std::uint32_t secret = 0; secret <= 6; ++secret) {
+    const Result r = run_firmware(soc, secret);
+    std::printf("%-14u %-22u %-18u\n", secret, r.progress_at_cycle, r.firmware_x20);
+  }
+  std::printf("\ncalibration (secret=0): progress %u. The lag below it grows with the\n"
+              "secret (one progress unit per two contending stores at streamer\n"
+              "initiation interval 2). The fixed-cycle column isolates the channel;\n"
+              "the x20 column is what attacker software actually reads - same signal.\n",
+              calib.progress_at_cycle);
+  return 0;
+}

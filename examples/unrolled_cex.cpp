@@ -1,0 +1,37 @@
+// Explicit multi-cycle counterexamples (Sec 3.5 / Alg. 2): two-cycle
+// counterexamples hide the interesting behavior inside the symbolic starting
+// state; unrolling the property makes every signal valuation explicit.
+//
+// On the baseline SoC, the unrolled procedure converges at k = 2 — exactly
+// the "unrolled for 2 clock cycles to observe the delay of the HWPE memory
+// access" of Sec 4.1 — and prints the side-by-side trace of both miter
+// instances: the victim's protected access wins arbitration in one instance,
+// the HWPE stalls, and its PROGRESS register diverges one cycle later.
+#include <cstdio>
+#include <memory>
+
+#include "upec/report.h"
+
+int main() {
+  using namespace upec;
+  soc::SocConfig cfg;
+  cfg.pub_ram_words = 16;
+  cfg.priv_ram_words = 8;
+  const soc::Soc soc = soc::build_pulpissimo(cfg);
+
+  // Focus S_pers on the Sec 4.1 scenario (accelerator + memory device) so the
+  // explicit counterexample shows the HWPE delay rather than one of the other
+  // persistent sinks (DMA status, event unit, timer).
+  VerifyOptions options;
+  auto svt = std::make_shared<rtlir::StateVarTable>(*soc.design);
+  options.s_pers_filter = [svt](rtlir::StateVarId sv) {
+    const std::string name = svt->name(sv);
+    return name.find(".hwpe.") != std::string::npos ||
+           name.find("pub_ram.mem[") != std::string::npos;
+  };
+
+  UpecContext ctx(soc, options);
+  const Alg2Result result = run_alg2(ctx);
+  std::printf("%s\n", render_report(ctx, result).c_str());
+  return result.verdict == Verdict::Vulnerable && result.final_k == 2 ? 0 : 1;
+}

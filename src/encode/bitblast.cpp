@@ -1,0 +1,34 @@
+#include "encode/bitblast.h"
+
+#include <cassert>
+
+namespace upec::encode {
+
+Bits encode_cell(CnfBuilder& cnf, const rtlir::CellNode& cell, unsigned out_width, const Bits& a,
+                 const Bits& b, const Bits& c) {
+  using rtlir::Op;
+  switch (cell.op) {
+    case Op::Not: return cnf.v_not(a);
+    case Op::And: return cnf.v_and(a, b);
+    case Op::Or: return cnf.v_or(a, b);
+    case Op::Xor: return cnf.v_xor(a, b);
+    case Op::Add: return cnf.v_add(a, b);
+    case Op::Sub: return cnf.v_sub(a, b);
+    case Op::Eq: return Bits{cnf.v_eq(a, b)};
+    case Op::Ult: return Bits{cnf.v_ult(a, b)};
+    case Op::Shl: return cnf.v_shl(a, b);
+    case Op::Lshr: return cnf.v_lshr(a, b);
+    case Op::Mux:
+      assert(a.size() == 1);
+      return cnf.v_mux(a[0], b, c);
+    case Op::Concat: return cnf.v_concat(a, b);
+    case Op::Slice: return cnf.v_slice(a, cell.aux0, out_width);
+    case Op::ZExt: return cnf.v_zext(a, out_width);
+    case Op::RedOr: return Bits{cnf.v_red_or(a)};
+    case Op::RedAnd: return Bits{cnf.v_red_and(a)};
+  }
+  assert(false && "unhandled op");
+  return Bits{};
+}
+
+} // namespace upec::encode

@@ -1,0 +1,18 @@
+// Lowering of individual RTL cells to CNF gate networks.
+//
+// Kept separate from the unroller so the cell semantics exist in exactly one
+// place (mirroring rtlir::eval_cell for the simulator side); the property-
+// based tests cross-check the two against each other on random operands.
+#pragma once
+
+#include "encode/cnf.h"
+#include "rtlir/design.h"
+
+namespace upec::encode {
+
+// Encodes one combinational cell given the images of its operands.
+// `a`, `b`, `c` follow the operand conventions documented in rtlir/cell.h.
+Bits encode_cell(CnfBuilder& cnf, const rtlir::CellNode& cell, unsigned out_width, const Bits& a,
+                 const Bits& b, const Bits& c);
+
+} // namespace upec::encode

@@ -1,0 +1,268 @@
+#include "encode/cnf.h"
+
+#include <cassert>
+
+namespace upec::encode {
+
+CnfBuilder::CnfBuilder(sat::Solver& solver) : solver_(solver) {
+  const sat::Var v = solver_.new_var();
+  true_ = sat::mk_lit(v);
+  solver_.add_clause(true_);
+}
+
+Lit CnfBuilder::fresh() {
+  ++aux_vars_;
+  return sat::mk_lit(solver_.new_var());
+}
+
+Bits CnfBuilder::fresh_vec(unsigned width) {
+  Bits out(width);
+  for (auto& l : out) l = fresh();
+  return out;
+}
+
+Bits CnfBuilder::constant_vec(const BitVec& value) {
+  Bits out(value.width());
+  for (unsigned i = 0; i < value.width(); ++i) out[i] = constant(value.bit(i));
+  return out;
+}
+
+namespace {
+std::uint64_t gate_key(Lit a, Lit b) {
+  const std::uint32_t x = static_cast<std::uint32_t>(a.index());
+  const std::uint32_t y = static_cast<std::uint32_t>(b.index());
+  return x < y ? (static_cast<std::uint64_t>(x) << 32) | y
+               : (static_cast<std::uint64_t>(y) << 32) | x;
+}
+} // namespace
+
+Lit CnfBuilder::and2(Lit a, Lit b) {
+  if (is_false(a) || is_false(b)) return lit_false();
+  if (is_true(a)) return b;
+  if (is_true(b)) return a;
+  if (a == b) return a;
+  if (a == ~b) return lit_false();
+  const std::uint64_t key = gate_key(a, b);
+  auto it = and_cache_.find(key);
+  if (it != and_cache_.end()) return it->second;
+  const Lit o = fresh();
+  clause(~o, a);
+  clause(~o, b);
+  clause(o, ~a, ~b);
+  and_cache_.emplace(key, o);
+  return o;
+}
+
+Lit CnfBuilder::xor2(Lit a, Lit b) {
+  if (is_const(a) && is_const(b)) return constant(is_true(a) != is_true(b));
+  if (is_false(a)) return b;
+  if (is_true(a)) return ~b;
+  if (is_false(b)) return a;
+  if (is_true(b)) return ~a;
+  if (a == b) return lit_false();
+  if (a == ~b) return lit_true();
+  // Canonicalize: strip output-polarity into the result so xor(~a, b) shares
+  // the gate of xor(a, b).
+  const bool flip = a.sign() != b.sign();
+  const Lit pa = a.sign() ? ~a : a;
+  const Lit pb = b.sign() ? ~b : b;
+  const std::uint64_t key = gate_key(pa, pb);
+  auto it = xor_cache_.find(key);
+  if (it != xor_cache_.end()) return flip ? ~it->second : it->second;
+  const Lit o = fresh();
+  clause(~o, pa, pb);
+  clause(~o, ~pa, ~pb);
+  clause(o, ~pa, pb);
+  clause(o, pa, ~pb);
+  xor_cache_.emplace(key, o);
+  return flip ? ~o : o;
+}
+
+Lit CnfBuilder::mux(Lit sel, Lit t, Lit f) {
+  if (is_true(sel)) return t;
+  if (is_false(sel)) return f;
+  if (t == f) return t;
+  if (is_true(t) && is_false(f)) return sel;
+  if (is_false(t) && is_true(f)) return ~sel;
+  const Lit o = fresh();
+  clause(~o, ~sel, t);
+  clause(~o, sel, f);
+  clause(o, ~sel, ~t);
+  clause(o, sel, ~f);
+  return o;
+}
+
+Lit CnfBuilder::and_all(const Bits& xs) {
+  // Tree reduction keeps implication chains shallow for the solver.
+  Bits cur;
+  cur.reserve(xs.size());
+  for (Lit l : xs) {
+    if (is_false(l)) return lit_false();
+    if (!is_true(l)) cur.push_back(l);
+  }
+  if (cur.empty()) return lit_true();
+  while (cur.size() > 1) {
+    Bits next;
+    next.reserve((cur.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < cur.size(); i += 2) next.push_back(and2(cur[i], cur[i + 1]));
+    if (cur.size() & 1) next.push_back(cur.back());
+    cur = std::move(next);
+  }
+  return cur[0];
+}
+
+Lit CnfBuilder::or_all(const Bits& xs) {
+  Bits neg(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) neg[i] = ~xs[i];
+  return ~and_all(neg);
+}
+
+Bits CnfBuilder::v_not(const Bits& a) {
+  Bits out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = ~a[i];
+  return out;
+}
+
+Bits CnfBuilder::v_and(const Bits& a, const Bits& b) {
+  assert(a.size() == b.size());
+  Bits out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = and2(a[i], b[i]);
+  return out;
+}
+
+Bits CnfBuilder::v_or(const Bits& a, const Bits& b) {
+  assert(a.size() == b.size());
+  Bits out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = or2(a[i], b[i]);
+  return out;
+}
+
+Bits CnfBuilder::v_xor(const Bits& a, const Bits& b) {
+  assert(a.size() == b.size());
+  Bits out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = xor2(a[i], b[i]);
+  return out;
+}
+
+Bits CnfBuilder::v_mux(Lit sel, const Bits& t, const Bits& f) {
+  assert(t.size() == f.size());
+  Bits out(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) out[i] = mux(sel, t[i], f[i]);
+  return out;
+}
+
+Bits CnfBuilder::v_add(const Bits& a, const Bits& b) {
+  assert(a.size() == b.size());
+  Bits out(a.size());
+  Lit carry = lit_false();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Lit axb = xor2(a[i], b[i]);
+    out[i] = xor2(axb, carry);
+    // carry' = (a & b) | (carry & (a ^ b))
+    carry = or2(and2(a[i], b[i]), and2(carry, axb));
+  }
+  return out;
+}
+
+Bits CnfBuilder::v_sub(const Bits& a, const Bits& b) {
+  assert(a.size() == b.size());
+  Bits out(a.size());
+  Lit borrow = lit_false();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Lit axb = xor2(a[i], b[i]);
+    out[i] = xor2(axb, borrow);
+    // borrow' = (~a & b) | (~(a ^ b) & borrow)
+    borrow = or2(and2(~a[i], b[i]), and2(~axb, borrow));
+  }
+  return out;
+}
+
+Lit CnfBuilder::v_eq(const Bits& a, const Bits& b) {
+  assert(a.size() == b.size());
+  Bits eqs(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) eqs[i] = xnor2(a[i], b[i]);
+  return and_all(eqs);
+}
+
+Lit CnfBuilder::v_ult(const Bits& a, const Bits& b) {
+  assert(a.size() == b.size());
+  // Borrow chain of a - b: final borrow set <=> a < b.
+  Lit borrow = lit_false();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Lit axb = xor2(a[i], b[i]);
+    borrow = or2(and2(~a[i], b[i]), and2(~axb, borrow));
+  }
+  return borrow;
+}
+
+Bits CnfBuilder::v_shl(const Bits& a, const Bits& amount) {
+  // Barrel shifter over the amount bits; shift counts >= width yield zero.
+  Bits cur = a;
+  const unsigned w = static_cast<unsigned>(a.size());
+  for (unsigned s = 0; s < amount.size(); ++s) {
+    const unsigned step = 1u << s;
+    if (step >= w) {
+      // Shifting by this stage clears everything if the bit is set.
+      for (auto& l : cur) l = and2(l, ~amount[s]);
+      continue;
+    }
+    Bits shifted(w, lit_false());
+    for (unsigned i = step; i < w; ++i) shifted[i] = cur[i - step];
+    cur = v_mux(amount[s], shifted, cur);
+  }
+  return cur;
+}
+
+Bits CnfBuilder::v_lshr(const Bits& a, const Bits& amount) {
+  Bits cur = a;
+  const unsigned w = static_cast<unsigned>(a.size());
+  for (unsigned s = 0; s < amount.size(); ++s) {
+    const unsigned step = 1u << s;
+    if (step >= w) {
+      for (auto& l : cur) l = and2(l, ~amount[s]);
+      continue;
+    }
+    Bits shifted(w, lit_false());
+    for (unsigned i = 0; i + step < w; ++i) shifted[i] = cur[i + step];
+    cur = v_mux(amount[s], shifted, cur);
+  }
+  return cur;
+}
+
+Bits CnfBuilder::v_slice(const Bits& a, unsigned lo, unsigned width) {
+  assert(lo + width <= a.size());
+  return Bits(a.begin() + lo, a.begin() + lo + width);
+}
+
+Bits CnfBuilder::v_concat(const Bits& hi, const Bits& lo) {
+  Bits out = lo;
+  out.insert(out.end(), hi.begin(), hi.end());
+  return out;
+}
+
+Bits CnfBuilder::v_zext(const Bits& a, unsigned width) {
+  assert(width >= a.size());
+  Bits out = a;
+  out.resize(width, lit_false());
+  return out;
+}
+
+void CnfBuilder::assert_equal(Lit a, Lit b) {
+  solver_.add_clause(~a, b);
+  solver_.add_clause(a, ~b);
+}
+
+void CnfBuilder::assert_equal(const Bits& a, const Bits& b) {
+  assert(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) assert_equal(a[i], b[i]);
+}
+
+void CnfBuilder::imply_equal(Lit cond, const Bits& a, const Bits& b) {
+  assert(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    solver_.add_clause({~cond, ~a[i], b[i]});
+    solver_.add_clause({~cond, a[i], ~b[i]});
+  }
+}
+
+} // namespace upec::encode

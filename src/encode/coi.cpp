@@ -1,0 +1,70 @@
+#include "encode/coi.h"
+
+#include <unordered_set>
+
+namespace upec::encode {
+
+using rtlir::kNullNet;
+using rtlir::NetId;
+using rtlir::NetKind;
+
+CoiResult cone_of_influence(const rtlir::Design& design, const rtlir::StateVarTable& svt,
+                            const std::vector<NetId>& roots, unsigned k) {
+  CoiResult result;
+  result.total_nets = design.num_nets();
+
+  std::vector<NetId> frontier = roots;
+  std::vector<bool> net_seen(design.num_nets(), false);
+  std::vector<bool> reg_seen(design.registers().size(), false);
+  std::vector<bool> mem_seen(design.memories().size(), false);
+
+  for (unsigned step = 0; step <= k; ++step) {
+    // Combinational closure of the current frontier.
+    const std::vector<bool> cone = rtlir::comb_fanin(design, frontier);
+    std::vector<NetId> next_frontier;
+    for (NetId n = 0; n < design.num_nets(); ++n) {
+      if (!cone[n] || net_seen[n]) continue;
+      net_seen[n] = true;
+      const rtlir::Net& info = design.net(n);
+      if (info.kind == NetKind::RegQ && !reg_seen[info.payload]) {
+        reg_seen[info.payload] = true;
+        if (step < k) {
+          const rtlir::Register& r = design.registers()[info.payload];
+          next_frontier.push_back(r.d);
+          if (r.en != kNullNet) next_frontier.push_back(r.en);
+        }
+      } else if (info.kind == NetKind::MemRead) {
+        const std::uint32_t mem = design.mem_reads()[info.payload].mem;
+        if (!mem_seen[mem]) {
+          mem_seen[mem] = true;
+          if (step < k) {
+            for (const rtlir::MemWritePort& w : design.memories()[mem].writes) {
+              next_frontier.push_back(w.addr);
+              next_frontier.push_back(w.data);
+              if (w.en != kNullNet) next_frontier.push_back(w.en);
+            }
+          }
+        }
+      }
+    }
+    if (next_frontier.empty()) break;
+    frontier = std::move(next_frontier);
+  }
+
+  for (NetId n = 0; n < design.num_nets(); ++n) {
+    if (net_seen[n]) ++result.reachable_nets;
+  }
+  for (std::uint32_t r = 0; r < design.registers().size(); ++r) {
+    if (reg_seen[r]) result.state_vars.push_back(svt.of_register(r));
+  }
+  for (std::uint32_t m = 0; m < design.memories().size(); ++m) {
+    if (mem_seen[m]) {
+      for (std::uint32_t w = 0; w < design.memories()[m].words; ++w) {
+        result.state_vars.push_back(svt.of_mem_word(m, w));
+      }
+    }
+  }
+  return result;
+}
+
+} // namespace upec::encode

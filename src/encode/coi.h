@@ -1,0 +1,28 @@
+// Static cone-of-influence analysis used for reporting and for the encoder
+// ablation benchmark: how much of the design a k-cycle property actually
+// touches. The unroller performs the equivalent reduction dynamically (lazy
+// encoding); this module computes the same set explicitly so the reduction
+// factor can be measured and asserted in tests.
+#pragma once
+
+#include <vector>
+
+#include "rtlir/analyze.h"
+
+namespace upec::encode {
+
+struct CoiResult {
+  // State variables whose frame-0 value can influence the roots within k cycles.
+  std::vector<rtlir::StateVarId> state_vars;
+  // Nets reachable backwards from the roots through k frames.
+  std::size_t reachable_nets = 0;
+  std::size_t total_nets = 0;
+};
+
+// Backwards cone of `roots` (net ids) across `k` unrolled frames: walks
+// combinational fan-in, crosses register D->Q and memory write->read
+// boundaries k times.
+CoiResult cone_of_influence(const rtlir::Design& design, const rtlir::StateVarTable& svt,
+                            const std::vector<rtlir::NetId>& roots, unsigned k);
+
+} // namespace upec::encode

@@ -1,0 +1,118 @@
+#include "encode/miter.h"
+
+#include <cassert>
+
+namespace upec::encode {
+
+Miter::Miter(sat::Solver& solver, const rtlir::Design& design, const rtlir::StateVarTable& svt,
+             MiterOptions options)
+    : solver_(solver),
+      cnf_(solver),
+      svt_(svt),
+      options_(std::move(options)),
+      a_(cnf_, design, svt, "a"),
+      b_(cnf_, design, svt, "b") {
+  // Shared inputs: both instances resolve to one image, which enforces
+  // Primary_Input_Constraints() structurally. Per-instance inputs (the CPU
+  // interface) return an empty binding so each instance allocates its own.
+  auto resolver = [this, &design](std::uint32_t input_idx, unsigned frame) -> Bits {
+    const rtlir::InputInfo& info = design.inputs()[input_idx];
+    const std::string& name = design.net(info.net).name;
+    if (options_.per_instance && options_.per_instance(name)) return {};
+    const std::uint64_t key = (static_cast<std::uint64_t>(frame) << 32) | input_idx;
+    auto it = shared_input_cache_.find(key);
+    if (it == shared_input_cache_.end()) {
+      it = shared_input_cache_.emplace(key, cnf_.fresh_vec(design.width(info.net))).first;
+    }
+    return it->second;
+  };
+  a_.set_input_resolver(resolver);
+  b_.set_input_resolver(resolver);
+}
+
+Lit Miter::exempt_lit(rtlir::StateVarId sv) {
+  auto it = exempt_cache_.find(sv);
+  if (it != exempt_cache_.end()) return it->second;
+  const Lit l = exempt_fn_ ? exempt_fn_(*this, sv) : cnf_.lit_false();
+  exempt_cache_.emplace(sv, l);
+  return l;
+}
+
+void Miter::bind_shared_prefix(const std::vector<rtlir::StateVarId>& S) {
+  assert(options_.shared_prefix);
+  for (rtlir::StateVarId sv : S) {
+    const Lit ex = exempt_lit(sv);
+    const Bits& av = a_.state_at(0, sv);
+    if (cnf_.is_false(ex)) {
+      b_.bind_state0(sv, av);
+    } else {
+      // Exempt variables (victim-range memory words) may differ: instance B
+      // sees fresh values whenever the exemption holds.
+      const Bits free = cnf_.fresh_vec(static_cast<unsigned>(av.size()));
+      b_.bind_state0(sv, cnf_.v_mux(ex, free, av));
+    }
+  }
+}
+
+Lit Miter::eq_assumption(rtlir::StateVarId sv) {
+  auto it = eq_lits_.find(sv);
+  if (it != eq_lits_.end()) return it->second;
+
+  const Lit e = cnf_.fresh();
+  const Lit ex = exempt_lit(sv);
+  const Bits& av = a_.state_at(0, sv);
+  const Bits& bv = b_.state_at(0, sv);
+  assert(av.size() == bv.size());
+  for (std::size_t i = 0; i < av.size(); ++i) {
+    if (cnf_.is_false(ex)) {
+      cnf_.add_clause({~e, ~av[i], bv[i]});
+      cnf_.add_clause({~e, av[i], ~bv[i]});
+    } else {
+      cnf_.add_clause({~e, ex, ~av[i], bv[i]});
+      cnf_.add_clause({~e, ex, av[i], ~bv[i]});
+    }
+  }
+  eq_lits_.emplace(sv, e);
+  return e;
+}
+
+Lit Miter::diff_literal(rtlir::StateVarId sv, unsigned frame) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(frame) << 32) | sv;
+  auto it = diff_lits_.find(key);
+  if (it != diff_lits_.end()) return it->second;
+
+  const Bits& av = a_.state_at(frame, sv);
+  const Bits& bv = b_.state_at(frame, sv);
+  assert(av.size() == bv.size());
+  const Lit d = cnf_.fresh();
+  // d -> (some bit differs)
+  std::vector<Lit> cl;
+  cl.push_back(~d);
+  for (std::size_t i = 0; i < av.size(); ++i) cl.push_back(cnf_.xor2(av[i], bv[i]));
+  cnf_.add_clause(cl);
+  // d -> not exempt
+  const Lit ex = exempt_lit(sv);
+  if (!cnf_.is_false(ex)) cnf_.add_clause({~d, ~ex});
+  diff_lits_.emplace(key, d);
+  return d;
+}
+
+std::uint64_t Miter::model_value(const Bits& image) const {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    if (solver_.model_value(image[i])) v |= 1ULL << i;
+  }
+  return v;
+}
+
+bool Miter::lit_in_model(Lit l) const { return solver_.model_value(l); }
+
+bool Miter::differs_in_model(rtlir::StateVarId sv, unsigned frame) {
+  const Lit ex = exempt_lit(sv);
+  if (!cnf_.is_false(ex) && solver_.model_value(ex)) return false;
+  const std::uint64_t va = model_value(a_.state_at(frame, sv));
+  const std::uint64_t vb = model_value(b_.state_at(frame, sv));
+  return va != vb;
+}
+
+} // namespace upec::encode

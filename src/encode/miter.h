@@ -1,0 +1,88 @@
+// 2-safety miter: two unrolled instances of the design under verification
+// inside one CNF, as required by the UPEC computational model (Sec 3.2).
+//
+// Two encoding strategies are provided:
+//
+//  * Assumption mode (default, incremental): both instances get independent
+//    symbolic starting states; State_Equivalence(S) is expressed through
+//    per-state-variable activation literals passed as solver assumptions.
+//    Shrinking S across Alg. 1 / Alg. 2 iterations only changes the
+//    assumption set — clauses and learned clauses persist across iterations.
+//
+//  * Shared-prefix mode (ablation, see bench_solver): state variables
+//    assumed equal at t reuse the *same* CNF variables in both instances,
+//    yielding a much smaller formula at the cost of re-encoding whenever S
+//    changes.
+//
+// Primary inputs are shared between the instances by default (this *is*
+// Primary_Input_Constraints(), enforced with zero clauses); inputs named by
+// the per_instance predicate (the CPU/system interface of Obs. 1) get
+// independent images so the Victim_Task_Executing() macro can constrain them.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "encode/unroller.h"
+
+namespace upec::encode {
+
+struct MiterOptions {
+  // Inputs whose image must be independent per instance (CPU interface).
+  std::function<bool(const std::string& input_name)> per_instance;
+  // Shared-prefix encoding of frame-0 state (see above).
+  bool shared_prefix = false;
+};
+
+class Miter {
+public:
+  Miter(sat::Solver& solver, const rtlir::Design& design, const rtlir::StateVarTable& svt,
+        MiterOptions options);
+
+  CnfBuilder& cnf() { return cnf_; }
+  UnrolledInstance& inst_a() { return a_; }
+  UnrolledInstance& inst_b() { return b_; }
+  const rtlir::StateVarTable& state_vars() const { return svt_; }
+
+  // Exemption hook: returns, for a state variable, a literal that is true
+  // when the variable is exempt from equivalence (memory word inside the
+  // symbolic victim range). Must be installed before the first
+  // eq_assumption/diff_literal call; defaults to "never exempt".
+  void set_exempt(std::function<Lit(Miter&, rtlir::StateVarId)> fn) { exempt_fn_ = std::move(fn); }
+  Lit exempt_lit(rtlir::StateVarId sv);
+
+  // Shared-prefix mode: bind frame-0 state of instance B to instance A for
+  // every variable in S (conditionally for exempt variables). Must run
+  // before any frame-0 image of instance B is encoded.
+  void bind_shared_prefix(const std::vector<rtlir::StateVarId>& S);
+
+  // Activation literal for "sv equal at frame 0 (unless exempt)".
+  Lit eq_assumption(rtlir::StateVarId sv);
+
+  // Literal d with d -> (sv differs at `frame` and is not exempt).
+  Lit diff_literal(rtlir::StateVarId sv, unsigned frame);
+
+  // --- model inspection (valid after a SAT solve) ------------------------------
+  std::uint64_t model_value(const Bits& image) const;
+  bool lit_in_model(Lit l) const;
+  // True iff the two instances disagree on sv at `frame` in the current model
+  // and the variable is not exempted by the model's victim range.
+  bool differs_in_model(rtlir::StateVarId sv, unsigned frame);
+
+private:
+  sat::Solver& solver_;
+  CnfBuilder cnf_;
+  const rtlir::StateVarTable& svt_;
+  MiterOptions options_;
+  UnrolledInstance a_;
+  UnrolledInstance b_;
+  std::function<Lit(Miter&, rtlir::StateVarId)> exempt_fn_;
+  std::unordered_map<std::uint64_t, Bits> shared_input_cache_; // (frame<<32)|input_idx
+  std::unordered_map<rtlir::StateVarId, Lit> eq_lits_;
+  std::unordered_map<std::uint64_t, Lit> diff_lits_; // (frame<<32)|sv
+  std::unordered_map<rtlir::StateVarId, Lit> exempt_cache_;
+};
+
+} // namespace upec::encode

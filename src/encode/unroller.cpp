@@ -1,0 +1,157 @@
+#include "encode/unroller.h"
+
+#include <cassert>
+
+namespace upec::encode {
+
+using rtlir::kNullNet;
+using rtlir::NetId;
+using rtlir::NetKind;
+
+UnrolledInstance::UnrolledInstance(CnfBuilder& cnf, const rtlir::Design& design,
+                                   const rtlir::StateVarTable& svt, std::string tag)
+    : cnf_(cnf), design_(design), svt_(svt), tag_(std::move(tag)) {}
+
+UnrolledInstance::Frame& UnrolledInstance::frame(unsigned f) {
+  if (frames_.size() <= f) frames_.resize(f + 1);
+  return frames_[f];
+}
+
+const Bits& UnrolledInstance::input_at(unsigned f, std::uint32_t input_index) {
+  const rtlir::InputInfo& info = design_.inputs()[input_index];
+  // Stable inputs live in frame 0 regardless of the requested frame: they
+  // model specification constants held fixed over the property window.
+  const unsigned slot = info.stable ? 0 : f;
+  auto& cache = frame(slot).inputs;
+  auto it = cache.find(input_index);
+  if (it != cache.end()) return it->second;
+
+  Bits image;
+  if (resolve_input_) image = resolve_input_(input_index, slot);
+  if (image.empty()) image = cnf_.fresh_vec(design_.width(info.net));
+  // Re-acquire: the resolver may have grown the frame vector.
+  return frame(slot).inputs.emplace(input_index, std::move(image)).first->second;
+}
+
+const Bits& UnrolledInstance::reg_at(unsigned f, std::uint32_t reg) {
+  auto& cache = frame(f).regs;
+  auto it = cache.find(reg);
+  if (it != cache.end()) return it->second;
+
+  const rtlir::Register& r = design_.registers()[reg];
+  Bits image;
+  if (f == 0) {
+    // Symbolic starting state: all histories of inputs are modeled by leaving
+    // the initial register contents unconstrained.
+    image = cnf_.fresh_vec(design_.width(r.q));
+  } else {
+    Bits next = net_at(f - 1, r.d);
+    if (r.en != kNullNet) {
+      const Bits en = net_at(f - 1, r.en);
+      next = cnf_.v_mux(en[0], next, reg_at(f - 1, reg));
+    }
+    image = std::move(next);
+  }
+  return frame(f).regs.emplace(reg, std::move(image)).first->second;
+}
+
+const Bits& UnrolledInstance::mem_word_at(unsigned f, std::uint32_t mem, std::uint32_t word) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(mem) << 32) | word;
+  auto& cache = frame(f).mem_words;
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+
+  const rtlir::Memory& m = design_.memories()[mem];
+  Bits image;
+  if (f == 0) {
+    image = cnf_.fresh_vec(m.width);
+  } else {
+    // Apply all write ports of the previous frame; later ports take priority.
+    Bits cur = mem_word_at(f - 1, mem, word);
+    for (const rtlir::MemWritePort& wp : m.writes) {
+      const Bits addr = net_at(f - 1, wp.addr);
+      const Bits data = net_at(f - 1, wp.data);
+      Lit hit = cnf_.v_eq(addr, cnf_.constant_vec(BitVec(m.addr_width, word)));
+      if (wp.en != kNullNet) {
+        const Bits en = net_at(f - 1, wp.en);
+        hit = cnf_.and2(hit, en[0]);
+      }
+      cur = cnf_.v_mux(hit, data, cur);
+    }
+    image = std::move(cur);
+  }
+  return frame(f).mem_words.emplace(key, std::move(image)).first->second;
+}
+
+Bits UnrolledInstance::mem_read_tree(unsigned f, std::uint32_t mem, const Bits& addr,
+                                     unsigned bit, std::uint64_t base) {
+  const rtlir::Memory& m = design_.memories()[mem];
+  if (base >= m.words) return cnf_.constant_vec(BitVec::zeros(m.width));
+  if (bit == 0) return mem_word_at(f, mem, static_cast<std::uint32_t>(base));
+  // Select on address bit (bit-1): balanced mux tree keeps CNF depth log(words).
+  const unsigned b = bit - 1;
+  const Bits lo = mem_read_tree(f, mem, addr, b, base);
+  const std::uint64_t hi_base = base + (1ull << b);
+  if (hi_base >= m.words) {
+    // Upper half reads as zero only if selected; fold the mux.
+    const Bits hi = cnf_.constant_vec(BitVec::zeros(m.width));
+    return cnf_.v_mux(addr[b], hi, lo);
+  }
+  const Bits hi = mem_read_tree(f, mem, addr, b, hi_base);
+  return cnf_.v_mux(addr[b], hi, lo);
+}
+
+void UnrolledInstance::bind_state0(rtlir::StateVarId sv, Bits image) {
+  const rtlir::StateVar& v = svt_.var(sv);
+  if (v.kind == rtlir::StateVar::Kind::Reg) {
+    auto& cache = frame(0).regs;
+    assert(!cache.count(v.index) && "frame-0 register image already encoded");
+    cache.emplace(v.index, std::move(image));
+  } else {
+    const std::uint64_t key = (static_cast<std::uint64_t>(v.index) << 32) | v.word;
+    auto& cache = frame(0).mem_words;
+    assert(!cache.count(key) && "frame-0 memory word image already encoded");
+    cache.emplace(key, std::move(image));
+  }
+}
+
+const Bits& UnrolledInstance::state_at(unsigned f, rtlir::StateVarId sv) {
+  const rtlir::StateVar& v = svt_.var(sv);
+  if (v.kind == rtlir::StateVar::Kind::Reg) return reg_at(f, v.index);
+  return mem_word_at(f, v.index, v.word);
+}
+
+const Bits& UnrolledInstance::net_at(unsigned f, NetId net) {
+  assert(net != kNullNet);
+  auto& cache = frame(f).nets;
+  auto it = cache.find(net);
+  if (it != cache.end()) return it->second;
+
+  const rtlir::Net& info = design_.net(net);
+  Bits image;
+  switch (info.kind) {
+    case NetKind::Const: image = cnf_.constant_vec(design_.consts()[info.payload]); break;
+    case NetKind::Input: image = input_at(f, info.payload); break;
+    case NetKind::RegQ: image = reg_at(f, info.payload); break;
+    case NetKind::MemRead: {
+      const rtlir::MemReadPort& rp = design_.mem_reads()[info.payload];
+      const Bits addr = net_at(f, rp.addr);
+      image = mem_read_tree(f, rp.mem, addr, design_.memories()[rp.mem].addr_width, 0);
+      break;
+    }
+    case NetKind::Cell: {
+      const rtlir::CellNode& cell = design_.cells()[info.payload];
+      static const Bits kEmpty;
+      const Bits& a = cell.a != kNullNet ? net_at(f, cell.a) : kEmpty;
+      const Bits& b = cell.b != kNullNet ? net_at(f, cell.b) : kEmpty;
+      const Bits& c = cell.c != kNullNet ? net_at(f, cell.c) : kEmpty;
+      image = encode_cell(cnf_, cell, info.width, a, b, c);
+      break;
+    }
+  }
+  ++encoded_nets_;
+  // Note: recursive net_at calls may have grown the cache; re-acquire.
+  return frame(f).nets.emplace(net, std::move(image)).first->second;
+}
+
+} // namespace upec::encode

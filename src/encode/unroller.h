@@ -1,0 +1,78 @@
+// Demand-driven k-cycle unrolling of one design instance into CNF.
+//
+// This implements the IPC computational model of the paper (Sec 3.2): the
+// starting state (frame 0) is *symbolic* — every register and memory word
+// gets fresh CNF variables, modeling all possible input histories — and each
+// further frame is the image of the previous one through the transition
+// relation. Encoding is memoized and lazy, so only the cone of influence of
+// the literals a property actually asks for is ever materialized.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "encode/bitblast.h"
+#include "rtlir/analyze.h"
+
+namespace upec::encode {
+
+// Resolves the image of a primary input at a frame. Returning an empty Bits
+// means "no binding": the unroller allocates fresh variables itself. The
+// miter uses this hook to share input images between the two instances
+// (Primary_Input_Constraints with zero clauses) and to bind stable
+// specification inputs (the symbolic victim address range).
+using InputResolver = std::function<Bits(std::uint32_t input_index, unsigned frame)>;
+
+class UnrolledInstance {
+public:
+  UnrolledInstance(CnfBuilder& cnf, const rtlir::Design& design,
+                   const rtlir::StateVarTable& svt, std::string tag);
+
+  void set_input_resolver(InputResolver r) { resolve_input_ = std::move(r); }
+
+  // Image of an arbitrary net at a frame (0-based; frame f sees the state
+  // *after* f clock edges from the symbolic start).
+  const Bits& net_at(unsigned frame, rtlir::NetId net);
+
+  // Current-state image of a state variable at a frame.
+  const Bits& state_at(unsigned frame, rtlir::StateVarId sv);
+
+  const Bits& reg_at(unsigned frame, std::uint32_t reg);
+  const Bits& mem_word_at(unsigned frame, std::uint32_t mem, std::uint32_t word);
+  const Bits& input_at(unsigned frame, std::uint32_t input_index);
+
+  // Pre-binds the frame-0 image of a state variable (shared-prefix miter
+  // encoding). Must precede the first read of that variable's frame-0 image.
+  void bind_state0(rtlir::StateVarId sv, Bits image);
+
+  const rtlir::Design& design() const { return design_; }
+  const rtlir::StateVarTable& state_vars() const { return svt_; }
+  const std::string& tag() const { return tag_; }
+
+  // Number of net images actually encoded (for COI reporting).
+  std::size_t encoded_net_images() const { return encoded_nets_; }
+
+private:
+  struct Frame {
+    std::unordered_map<rtlir::NetId, Bits> nets;
+    std::unordered_map<std::uint32_t, Bits> regs;
+    std::unordered_map<std::uint64_t, Bits> mem_words; // (mem<<32)|word
+    std::unordered_map<std::uint32_t, Bits> inputs;
+  };
+
+  Frame& frame(unsigned f);
+  Bits mem_read_tree(unsigned frame, std::uint32_t mem, const Bits& addr, unsigned bit,
+                     std::uint64_t base);
+
+  CnfBuilder& cnf_;
+  const rtlir::Design& design_;
+  const rtlir::StateVarTable& svt_;
+  std::string tag_;
+  InputResolver resolve_input_;
+  std::vector<Frame> frames_;
+  std::size_t encoded_nets_ = 0;
+};
+
+} // namespace upec::encode

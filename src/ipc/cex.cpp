@@ -1,0 +1,70 @@
+#include "ipc/cex.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace upec::ipc {
+
+bool SignalTrace::diverges() const {
+  for (std::size_t i = 0; i < inst_a.size(); ++i) {
+    if (inst_a[i] != inst_b[i]) return true;
+  }
+  return false;
+}
+
+std::string Waveform::pretty(bool only_diverging) const {
+  std::ostringstream os;
+  std::size_t name_w = 8;
+  for (const auto& s : signals) name_w = std::max(name_w, s.name.size());
+
+  os << std::left << std::setw(static_cast<int>(name_w + 2)) << "signal";
+  for (unsigned f = 0; f <= frames; ++f) os << std::setw(20) << ("t+" + std::to_string(f));
+  os << "\n";
+  for (const auto& s : signals) {
+    if (only_diverging && !s.diverges()) continue;
+    os << std::left << std::setw(static_cast<int>(name_w + 2)) << s.name;
+    for (std::size_t f = 0; f < s.inst_a.size(); ++f) {
+      std::ostringstream cell;
+      cell << std::hex << s.inst_a[f];
+      if (s.inst_a[f] != s.inst_b[f]) cell << "/" << std::hex << s.inst_b[f] << "*";
+      os << std::setw(20) << cell.str();
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Waveform extract_waveform(encode::Miter& miter, unsigned k,
+                          const std::vector<std::string>& output_probes,
+                          const std::vector<rtlir::StateVarId>& state_vars) {
+  Waveform wf;
+  wf.frames = k;
+  const rtlir::Design& design = miter.inst_a().design();
+
+  for (const std::string& probe : output_probes) {
+    const rtlir::NetId net = design.find_output(probe);
+    if (net == rtlir::kNullNet) continue;
+    SignalTrace tr;
+    tr.name = probe;
+    tr.width = design.width(net);
+    for (unsigned f = 0; f <= k; ++f) {
+      tr.inst_a.push_back(miter.model_value(miter.inst_a().net_at(f, net)));
+      tr.inst_b.push_back(miter.model_value(miter.inst_b().net_at(f, net)));
+    }
+    wf.signals.push_back(std::move(tr));
+  }
+  const rtlir::StateVarTable& svt = miter.state_vars();
+  for (rtlir::StateVarId sv : state_vars) {
+    SignalTrace tr;
+    tr.name = svt.name(sv);
+    tr.width = svt.width(sv);
+    for (unsigned f = 0; f <= k; ++f) {
+      tr.inst_a.push_back(miter.model_value(miter.inst_a().state_at(f, sv)));
+      tr.inst_b.push_back(miter.model_value(miter.inst_b().state_at(f, sv)));
+    }
+    wf.signals.push_back(std::move(tr));
+  }
+  return wf;
+}
+
+} // namespace upec::ipc

@@ -1,0 +1,44 @@
+#include "ipc/engine.h"
+
+namespace upec::ipc {
+
+encode::Lit Engine::violation_any(encode::CnfBuilder& cnf,
+                                  const std::vector<encode::Lit>& disjuncts) {
+  const encode::Lit act = cnf.fresh();
+  std::vector<encode::Lit> clause;
+  clause.reserve(disjuncts.size() + 1);
+  clause.push_back(~act);
+  for (encode::Lit d : disjuncts) clause.push_back(d);
+  cnf.add_clause(clause);
+  return act;
+}
+
+CheckResult Engine::check(const BoundedProperty& property) {
+  CheckResult result;
+  const sat::SolverStats before = solver_.stats();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<encode::Lit> assumptions = property.assumptions;
+  assumptions.push_back(property.violation);
+
+  bool sat_result = false;
+  bool interrupted = false;
+  try {
+    sat_result = solver_.solve(assumptions);
+  } catch (const sat::SolverInterrupted&) {
+    interrupted = true;
+  }
+
+  const auto t1 = std::chrono::steady_clock::now();
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  const sat::SolverStats after = solver_.stats();
+  result.conflicts = after.conflicts - before.conflicts;
+  result.decisions = after.decisions - before.decisions;
+  result.propagations = after.propagations - before.propagations;
+  result.status = interrupted ? CheckStatus::Unknown
+                  : sat_result ? CheckStatus::Violated
+                               : CheckStatus::Holds;
+  return result;
+}
+
+} // namespace upec::ipc

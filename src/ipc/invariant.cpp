@@ -1,0 +1,50 @@
+#include "ipc/invariant.h"
+
+namespace upec::ipc {
+
+std::vector<encode::Lit> assume_invariants(encode::Miter& miter,
+                                           const std::vector<Invariant>& invariants) {
+  std::vector<encode::Lit> lits;
+  for (const Invariant& inv : invariants) {
+    lits.push_back(inv.build(miter.cnf(), miter.inst_a(), 0));
+    lits.push_back(inv.build(miter.cnf(), miter.inst_b(), 0));
+  }
+  return lits;
+}
+
+std::string check_inductive(const rtlir::Design& design, const rtlir::StateVarTable& svt,
+                            const Invariant& inv) {
+  // --- base: invariant holds in the reset state ---------------------------------
+  {
+    sat::Solver solver;
+    encode::CnfBuilder cnf(solver);
+    encode::UnrolledInstance inst(cnf, design, svt, "base");
+    for (rtlir::StateVarId sv = 0; sv < svt.size(); ++sv) {
+      const rtlir::StateVar& v = svt.var(sv);
+      const BitVec value = v.kind == rtlir::StateVar::Kind::Reg
+                               ? design.registers()[v.index].reset_value
+                               : design.memories()[v.index].init[v.word];
+      inst.bind_state0(sv, cnf.constant_vec(value));
+    }
+    const encode::Lit holds = inv.build(cnf, inst, 0);
+    if (solver.solve({~holds})) {
+      return "invariant '" + inv.name + "' does not hold in the reset state";
+    }
+  }
+  // --- step: inv(t) ∧ env(t) ∧ T(t, t+1) ⇒ inv(t+1) ------------------------------
+  {
+    sat::Solver solver;
+    encode::CnfBuilder cnf(solver);
+    encode::UnrolledInstance inst(cnf, design, svt, "step");
+    std::vector<encode::Lit> assumptions;
+    assumptions.push_back(inv.build(cnf, inst, 0));
+    if (inv.constrain) assumptions.push_back(inv.constrain(cnf, inst, 0));
+    assumptions.push_back(~inv.build(cnf, inst, 1));
+    if (solver.solve(assumptions)) {
+      return "invariant '" + inv.name + "' is not inductive (fails at t+1)";
+    }
+  }
+  return {};
+}
+
+} // namespace upec::ipc

@@ -1,0 +1,44 @@
+// Reachability invariants for the symbolic starting state.
+//
+// IPC properties start from a fully symbolic state and can therefore produce
+// false counterexamples rooted in unreachable states (Sec 3.4). Invariants
+// prune those: each is a predicate over one instance's state at one frame,
+// assumed for both miter instances at frame 0. The module also provides the
+// inductiveness check (base from reset + step) so that assumed invariants can
+// be discharged rather than trusted, and a simulation-guided miner for
+// candidate invariants.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "encode/miter.h"
+
+namespace upec::ipc {
+
+// Builds the invariant predicate over a single instance at a given frame.
+using InvariantBuilder =
+    std::function<encode::Lit(encode::CnfBuilder&, encode::UnrolledInstance&, unsigned frame)>;
+
+struct Invariant {
+  std::string name;
+  // State predicate: must hold in reset and be preserved by every step.
+  InvariantBuilder build;
+  // Optional environment constraint on the inputs of a frame (e.g. firmware
+  // write-legality): assumed during the step proof, never proved.
+  InvariantBuilder constrain;
+};
+
+// Assumption literals enforcing each invariant on both instances at frame 0.
+std::vector<encode::Lit> assume_invariants(encode::Miter& miter,
+                                           const std::vector<Invariant>& invariants);
+
+// Checks that `inv` is inductive on the design: (a) it holds in the reset
+// state, (b) if it holds at t it holds at t+1 for arbitrary inputs. Uses a
+// fresh single-instance encoding. Returns an empty string on success or a
+// failure description.
+std::string check_inductive(const rtlir::Design& design, const rtlir::StateVarTable& svt,
+                            const Invariant& inv);
+
+} // namespace upec::ipc

@@ -1,0 +1,3 @@
+#include "ipc/property.h"
+
+// BoundedProperty is a plain value type; logic lives in ipc::Engine.

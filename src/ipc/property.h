@@ -1,0 +1,24 @@
+// Bounded property representation for Interval Property Checking.
+//
+// A property instance is: a set of assumption literals (activated macros —
+// state equivalence, victim constraints, invariants), plus one violation
+// activation literal whose clause enumerates the ways the prove-part can
+// fail. check() is SAT on   assumptions ∧ violation   — UNSAT means the
+// property holds for the given window.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "encode/cnf.h"
+
+namespace upec::ipc {
+
+struct BoundedProperty {
+  std::string name;
+  unsigned window = 1; // number of transitions covered (t .. t+window)
+  std::vector<encode::Lit> assumptions;
+  encode::Lit violation; // activation literal; undef-free: lit_false = no violation part
+};
+
+} // namespace upec::ipc

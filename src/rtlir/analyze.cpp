@@ -1,0 +1,150 @@
+#include "rtlir/analyze.h"
+
+#include <algorithm>
+
+namespace upec::rtlir {
+
+StateVarTable::StateVarTable(const Design& design) : design_(design) {
+  reg_base_ = 0;
+  for (std::uint32_t r = 0; r < design.registers().size(); ++r) {
+    vars_.push_back(StateVar{StateVar::Kind::Reg, r, 0});
+  }
+  for (std::uint32_t m = 0; m < design.memories().size(); ++m) {
+    mem_base_.push_back(static_cast<std::uint32_t>(vars_.size()));
+    for (std::uint32_t w = 0; w < design.memories()[m].words; ++w) {
+      vars_.push_back(StateVar{StateVar::Kind::MemWord, m, w});
+    }
+  }
+}
+
+std::string StateVarTable::name(StateVarId id) const {
+  const StateVar& v = vars_[id];
+  if (v.kind == StateVar::Kind::Reg) {
+    const std::string& n = design_.net(design_.registers()[v.index].q).name;
+    return n.empty() ? ("reg#" + std::to_string(v.index)) : n;
+  }
+  return design_.memories()[v.index].name + "[" + std::to_string(v.word) + "]";
+}
+
+unsigned StateVarTable::width(StateVarId id) const {
+  const StateVar& v = vars_[id];
+  if (v.kind == StateVar::Kind::Reg) return design_.width(design_.registers()[v.index].q);
+  return design_.memories()[v.index].width;
+}
+
+std::vector<StateVarId> StateVarTable::ids_with_prefix(const std::string& prefix) const {
+  std::vector<StateVarId> out;
+  for (StateVarId id = 0; id < vars_.size(); ++id) {
+    if (name(id).rfind(prefix, 0) == 0) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> topo_order_cells(const Design& design, bool* cyclic) {
+  const auto& cells = design.cells();
+  const std::size_t n = cells.size();
+  // in_deg counts, per cell, how many of its operands are outputs of other
+  // cells or memory read ports (whose address may itself be a cell output).
+  std::vector<std::uint32_t> in_deg(n, 0);
+  std::vector<std::vector<std::uint32_t>> users(n);
+
+  auto producer_cell = [&](NetId net) -> std::int64_t {
+    if (net == kNullNet) return -1;
+    const Net& info = design.net(net);
+    if (info.kind == NetKind::Cell) return info.payload;
+    if (info.kind == NetKind::MemRead) {
+      // A memory read is combinational: its effective producer is the cell
+      // driving its address (if any).
+      const NetId addr = design.mem_reads()[info.payload].addr;
+      const Net& a = design.net(addr);
+      if (a.kind == NetKind::Cell) return a.payload;
+      if (a.kind == NetKind::MemRead) {
+        // Chained comb reads: recurse one level (rare; bounded in practice).
+        const NetId addr2 = design.mem_reads()[a.payload].addr;
+        const Net& a2 = design.net(addr2);
+        if (a2.kind == NetKind::Cell) return a2.payload;
+      }
+    }
+    return -1;
+  };
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (NetId operand : {cells[i].a, cells[i].b, cells[i].c}) {
+      const std::int64_t p = producer_cell(operand);
+      if (p >= 0) {
+        users[static_cast<std::size_t>(p)].push_back(i);
+        ++in_deg[i];
+      }
+    }
+  }
+
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  std::vector<std::uint32_t> ready;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (in_deg[i] == 0) ready.push_back(i);
+  }
+  while (!ready.empty()) {
+    const std::uint32_t c = ready.back();
+    ready.pop_back();
+    order.push_back(c);
+    for (std::uint32_t u : users[c]) {
+      if (--in_deg[u] == 0) ready.push_back(u);
+    }
+  }
+  const bool has_cycle = order.size() != n;
+  if (cyclic) *cyclic = has_cycle;
+  if (has_cycle) order.clear();
+  return order;
+}
+
+std::vector<bool> comb_fanin(const Design& design, const std::vector<NetId>& roots) {
+  std::vector<bool> seen(design.num_nets(), false);
+  std::vector<NetId> stack;
+  for (NetId r : roots) {
+    if (r != kNullNet && !seen[r]) {
+      seen[r] = true;
+      stack.push_back(r);
+    }
+  }
+  while (!stack.empty()) {
+    const NetId n = stack.back();
+    stack.pop_back();
+    const Net& info = design.net(n);
+    auto visit = [&](NetId x) {
+      if (x != kNullNet && !seen[x]) {
+        seen[x] = true;
+        stack.push_back(x);
+      }
+    };
+    if (info.kind == NetKind::Cell) {
+      const CellNode& c = design.cells()[info.payload];
+      visit(c.a);
+      visit(c.b);
+      visit(c.c);
+    } else if (info.kind == NetKind::MemRead) {
+      visit(design.mem_reads()[info.payload].addr);
+    }
+    // Input / Const / RegQ terminate the cone.
+  }
+  return seen;
+}
+
+DesignStats design_stats(const Design& design) {
+  DesignStats s;
+  s.nets = design.num_nets();
+  s.cells = design.cells().size();
+  s.registers = design.registers().size();
+  s.memories = design.memories().size();
+  for (const Memory& m : design.memories()) {
+    s.mem_words += m.words;
+    s.state_bits += static_cast<std::size_t>(m.words) * m.width;
+  }
+  for (const Register& r : design.registers()) {
+    s.state_bits += design.width(r.q);
+  }
+  s.state_vars = s.registers + s.mem_words;
+  return s;
+}
+
+} // namespace upec::rtlir

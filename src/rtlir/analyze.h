@@ -1,0 +1,80 @@
+// Structural analysis over rtlir::Design:
+//   - enumeration of the design's state variables (registers and memory
+//     words) — the S_all universe of the UPEC-SSC procedure,
+//   - topological ordering of combinational cells (simulation, encoding),
+//   - combinational fan-in computation (cone-of-influence support),
+//   - combinational-cycle detection (a well-formedness requirement).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtlir/design.h"
+
+namespace upec::rtlir {
+
+// One state variable of the design. Registers are one variable each (the
+// paper reasons at RTL signal granularity); each memory word is its own
+// variable so that e.g. "attacker-primed region word 5" can individually
+// appear in S_pers or in a counterexample.
+struct StateVar {
+  enum class Kind : std::uint8_t { Reg, MemWord };
+  Kind kind = Kind::Reg;
+  std::uint32_t index = 0; // register index or memory index
+  std::uint32_t word = 0;  // memory word (Kind::MemWord only)
+
+  friend bool operator==(const StateVar&, const StateVar&) = default;
+};
+
+using StateVarId = std::uint32_t;
+
+class StateVarTable {
+public:
+  explicit StateVarTable(const Design& design);
+
+  std::size_t size() const { return vars_.size(); }
+  const StateVar& var(StateVarId id) const { return vars_[id]; }
+  std::string name(StateVarId id) const;
+  unsigned width(StateVarId id) const;
+
+  // Id of the variable for a register / memory word.
+  StateVarId of_register(std::uint32_t reg) const { return reg_base_ + reg; }
+  StateVarId of_mem_word(std::uint32_t mem, std::uint32_t word) const {
+    return mem_base_[mem] + word;
+  }
+
+  // All ids whose hierarchical name starts with the given dotted prefix.
+  std::vector<StateVarId> ids_with_prefix(const std::string& prefix) const;
+
+  const Design& design() const { return design_; }
+
+private:
+  const Design& design_;
+  std::vector<StateVar> vars_;
+  std::uint32_t reg_base_ = 0;
+  std::vector<std::uint32_t> mem_base_;
+};
+
+// Cells sorted so every cell appears after the cells driving its inputs.
+// Fails (returns empty + sets `cyclic`) on combinational cycles.
+std::vector<std::uint32_t> topo_order_cells(const Design& design, bool* cyclic = nullptr);
+
+// Net-level transitive combinational fan-in of `roots`: walks backwards
+// through cells and memory read ports, stopping at inputs, constants and
+// register outputs. Returns a flag per net.
+std::vector<bool> comb_fanin(const Design& design, const std::vector<NetId>& roots);
+
+// Counts for reporting.
+struct DesignStats {
+  std::size_t nets = 0;
+  std::size_t cells = 0;
+  std::size_t registers = 0;
+  std::size_t memories = 0;
+  std::size_t mem_words = 0;
+  std::size_t state_vars = 0;
+  std::size_t state_bits = 0;
+};
+DesignStats design_stats(const Design& design);
+
+} // namespace upec::rtlir

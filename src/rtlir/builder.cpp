@@ -1,0 +1,167 @@
+#include "rtlir/builder.h"
+
+namespace upec::rtlir {
+
+void Builder::push_scope(const std::string& name) { scope_.push_back(name); }
+
+void Builder::pop_scope() {
+  assert(!scope_.empty());
+  scope_.pop_back();
+}
+
+std::string Builder::scoped(const std::string& name) const {
+  std::string out;
+  for (const auto& s : scope_) {
+    out += s;
+    out += '.';
+  }
+  out += name;
+  return out;
+}
+
+NetId Builder::input(const std::string& name, unsigned width, bool stable) {
+  return d_.add_input(scoped(name), width, stable);
+}
+
+NetId Builder::cell(Op op, NetId a, NetId b, NetId c, unsigned out_width, std::uint32_t aux0) {
+  return d_.add_cell(op, a, b, c, out_width, aux0, "");
+}
+
+NetId Builder::not_(NetId a) { return cell(Op::Not, a, kNullNet, kNullNet, width(a)); }
+
+NetId Builder::and_(NetId a, NetId b) {
+  assert(width(a) == width(b));
+  return cell(Op::And, a, b, kNullNet, width(a));
+}
+
+NetId Builder::or_(NetId a, NetId b) {
+  assert(width(a) == width(b));
+  return cell(Op::Or, a, b, kNullNet, width(a));
+}
+
+NetId Builder::xor_(NetId a, NetId b) {
+  assert(width(a) == width(b));
+  return cell(Op::Xor, a, b, kNullNet, width(a));
+}
+
+NetId Builder::add(NetId a, NetId b) {
+  assert(width(a) == width(b));
+  return cell(Op::Add, a, b, kNullNet, width(a));
+}
+
+NetId Builder::sub(NetId a, NetId b) {
+  assert(width(a) == width(b));
+  return cell(Op::Sub, a, b, kNullNet, width(a));
+}
+
+NetId Builder::eq(NetId a, NetId b) {
+  assert(width(a) == width(b));
+  return cell(Op::Eq, a, b, kNullNet, 1);
+}
+
+NetId Builder::ult(NetId a, NetId b) {
+  assert(width(a) == width(b));
+  return cell(Op::Ult, a, b, kNullNet, 1);
+}
+
+NetId Builder::shl(NetId a, NetId amount) { return cell(Op::Shl, a, amount, kNullNet, width(a)); }
+
+NetId Builder::lshr(NetId a, NetId amount) {
+  return cell(Op::Lshr, a, amount, kNullNet, width(a));
+}
+
+NetId Builder::mux(NetId sel, NetId if_true, NetId if_false) {
+  assert(width(sel) == 1);
+  assert(width(if_true) == width(if_false));
+  return cell(Op::Mux, sel, if_true, if_false, width(if_true));
+}
+
+NetId Builder::concat(NetId hi, NetId lo) {
+  return cell(Op::Concat, hi, lo, kNullNet, width(hi) + width(lo));
+}
+
+NetId Builder::slice(NetId a, unsigned hi, unsigned lo) {
+  assert(hi >= lo && hi < width(a));
+  return cell(Op::Slice, a, kNullNet, kNullNet, hi - lo + 1, lo);
+}
+
+NetId Builder::zext(NetId a, unsigned w) {
+  assert(w >= width(a));
+  if (w == width(a)) return a;
+  return cell(Op::ZExt, a, kNullNet, kNullNet, w);
+}
+
+NetId Builder::sext(NetId a, unsigned w) {
+  assert(w >= width(a));
+  if (w == width(a)) return a;
+  const unsigned ext = w - width(a);
+  const NetId sign = bit(a, width(a) - 1);
+  const NetId hi = mux(sign, ones(ext), zero(ext));
+  return concat(hi, a);
+}
+
+NetId Builder::resize(NetId a, unsigned w) {
+  if (w == width(a)) return a;
+  return w > width(a) ? zext(a, w) : trunc(a, w);
+}
+
+NetId Builder::red_or(NetId a) { return cell(Op::RedOr, a, kNullNet, kNullNet, 1); }
+
+NetId Builder::red_and(NetId a) { return cell(Op::RedAnd, a, kNullNet, kNullNet, 1); }
+
+NetId Builder::select(const std::vector<std::pair<NetId, NetId>>& arms, NetId fallback) {
+  NetId out = fallback;
+  for (auto it = arms.rbegin(); it != arms.rend(); ++it) {
+    out = mux(it->first, it->second, out);
+  }
+  return out;
+}
+
+NetId Builder::fold_bin(Op op, const std::vector<NetId>& xs) {
+  assert(!xs.empty());
+  NetId acc = xs[0];
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    assert(width(acc) == width(xs[i]));
+    acc = cell(op, acc, xs[i], kNullNet, width(acc));
+  }
+  return acc;
+}
+
+RegHandle Builder::reg(const std::string& name, unsigned width, std::uint64_t reset) {
+  const std::uint32_t idx = d_.add_register(scoped(name), width, BitVec(width, reset));
+  return RegHandle{idx, d_.registers()[idx].q};
+}
+
+void Builder::connect(const RegHandle& r, NetId d, NetId en) {
+  assert(width(d) == width(r.q));
+  d_.connect_register(r.index, d, en);
+}
+
+NetId Builder::pipe(const std::string& name, NetId d, NetId en, std::uint64_t reset) {
+  RegHandle r = reg(name, width(d), reset);
+  connect(r, d, en);
+  return r.q;
+}
+
+MemHandle Builder::memory(const std::string& name, std::uint32_t words, unsigned width) {
+  return MemHandle{d_.add_memory(scoped(name), words, width)};
+}
+
+NetId Builder::mem_read(const MemHandle& m, NetId addr) {
+  assert(width(addr) == d_.memories()[m.index].addr_width);
+  return d_.add_mem_read(m.index, addr);
+}
+
+void Builder::mem_write(const MemHandle& m, NetId addr, NetId data, NetId en) {
+  assert(width(addr) == d_.memories()[m.index].addr_width);
+  assert(width(data) == d_.memories()[m.index].width);
+  d_.add_mem_write(m.index, addr, data, en);
+}
+
+NetId Builder::named(const std::string& name, NetId n) {
+  auto& net = const_cast<Net&>(d_.net(n));
+  if (net.name.empty()) net.name = scoped(name);
+  return n;
+}
+
+} // namespace upec::rtlir

@@ -1,0 +1,131 @@
+// Ergonomic construction layer over rtlir::Design.
+//
+// The builder provides word-level combinational operators with width
+// checking, scoped hierarchical naming (push_scope/pop_scope produce the
+// dotted paths that UPEC-SSC state sets key on), forward-declared registers
+// for feedback loops, and the usual RTL idioms (decoders, one-hot priority
+// arbitration helpers, counters).
+#pragma once
+
+#include <cassert>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "rtlir/design.h"
+
+namespace upec::rtlir {
+
+// Handle to a register whose D input may be connected after its Q has been
+// used (needed for every feedback path: FSMs, counters, handshakes).
+struct RegHandle {
+  std::uint32_t index = 0;
+  NetId q = kNullNet;
+};
+
+struct MemHandle {
+  std::uint32_t index = 0;
+};
+
+class Builder {
+public:
+  explicit Builder(Design& design) : d_(design) {}
+
+  Design& design() { return d_; }
+
+  // --- naming scopes ----------------------------------------------------------
+  void push_scope(const std::string& name);
+  void pop_scope();
+  std::string scoped(const std::string& name) const;
+
+  // RAII scope guard.
+  class Scope {
+  public:
+    Scope(Builder& b, const std::string& name) : b_(b) { b_.push_scope(name); }
+    ~Scope() { b_.pop_scope(); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+  private:
+    Builder& b_;
+  };
+
+  // --- primitives --------------------------------------------------------------
+  NetId input(const std::string& name, unsigned width, bool stable = false);
+  NetId constant(unsigned width, std::uint64_t value) { return d_.add_const(BitVec(width, value)); }
+  NetId zero(unsigned width) { return constant(width, 0); }
+  NetId one(unsigned width) { return constant(width, 1); }
+  NetId ones(unsigned width) { return d_.add_const(BitVec::ones(width)); }
+
+  unsigned width(NetId n) const { return d_.width(n); }
+
+  NetId not_(NetId a);
+  NetId and_(NetId a, NetId b);
+  NetId or_(NetId a, NetId b);
+  NetId xor_(NetId a, NetId b);
+  NetId and_all(std::initializer_list<NetId> xs) { return fold_bin(Op::And, xs); }
+  NetId or_all(std::initializer_list<NetId> xs) { return fold_bin(Op::Or, xs); }
+  NetId and_all(const std::vector<NetId>& xs) { return fold_bin(Op::And, xs); }
+  NetId or_all(const std::vector<NetId>& xs) { return fold_bin(Op::Or, xs); }
+
+  NetId add(NetId a, NetId b);
+  NetId sub(NetId a, NetId b);
+  NetId add_const(NetId a, std::uint64_t k) { return add(a, constant(width(a), k)); }
+
+  NetId eq(NetId a, NetId b);
+  NetId ne(NetId a, NetId b) { return not_(eq(a, b)); }
+  NetId eq_const(NetId a, std::uint64_t k) { return eq(a, constant(width(a), k)); }
+  NetId ne_const(NetId a, std::uint64_t k) { return not_(eq_const(a, k)); }
+  NetId ult(NetId a, NetId b);
+  NetId ule(NetId a, NetId b) { return not_(ult(b, a)); }
+  NetId uge(NetId a, NetId b) { return not_(ult(a, b)); }
+
+  NetId shl(NetId a, NetId amount);
+  NetId lshr(NetId a, NetId amount);
+
+  NetId mux(NetId sel, NetId if_true, NetId if_false);
+  NetId concat(NetId hi, NetId lo);
+  NetId slice(NetId a, unsigned hi, unsigned lo);
+  NetId bit(NetId a, unsigned i) { return slice(a, i, i); }
+  NetId zext(NetId a, unsigned width);
+  NetId sext(NetId a, unsigned width);
+  NetId trunc(NetId a, unsigned width) { return slice(a, width - 1, 0); }
+  NetId resize(NetId a, unsigned width);
+  NetId red_or(NetId a);
+  NetId red_and(NetId a);
+  NetId is_zero(NetId a) { return not_(red_or(a)); }
+
+  // Chained select: pairs of (cond, value), with a default; first match wins.
+  NetId select(const std::vector<std::pair<NetId, NetId>>& arms, NetId fallback);
+
+  // --- registers & memories ------------------------------------------------------
+  RegHandle reg(const std::string& name, unsigned width, std::uint64_t reset = 0);
+  void connect(const RegHandle& r, NetId d, NetId en = kNullNet);
+  // Register with immediate connection (no feedback).
+  NetId pipe(const std::string& name, NetId d, NetId en = kNullNet, std::uint64_t reset = 0);
+
+  MemHandle memory(const std::string& name, std::uint32_t words, unsigned width);
+  NetId mem_read(const MemHandle& m, NetId addr);
+  void mem_write(const MemHandle& m, NetId addr, NetId data, NetId en);
+  unsigned mem_addr_width(const MemHandle& m) const { return d_.memories()[m.index].addr_width; }
+
+  void output(const std::string& name, NetId n) { d_.set_output(scoped(name), n); }
+  // Probe with a global (unscoped) name.
+  void global_output(const std::string& name, NetId n) { d_.set_output(name, n); }
+
+  // Names the given net for nicer debug output (wraps in a unary buffer-free
+  // rename by tagging the existing net when unnamed).
+  NetId named(const std::string& name, NetId n);
+
+private:
+  NetId fold_bin(Op op, std::initializer_list<NetId> xs) {
+    return fold_bin(op, std::vector<NetId>(xs));
+  }
+  NetId fold_bin(Op op, const std::vector<NetId>& xs);
+  NetId cell(Op op, NetId a, NetId b, NetId c, unsigned out_width, std::uint32_t aux0 = 0);
+
+  Design& d_;
+  std::vector<std::string> scope_;
+};
+
+} // namespace upec::rtlir

@@ -1,0 +1,37 @@
+// Combinational cell operators of the word-level RTL IR.
+//
+// The operator set is deliberately small — it is the intersection of what a
+// synthesizable MCU uncore needs (bus decoding, arbitration, counters,
+// comparators, shifters) and what bit-blasts to compact CNF. All operands are
+// unsigned bit-vectors; semantics are listed per operator.
+#pragma once
+
+#include <cstdint>
+
+namespace upec::rtlir {
+
+using NetId = std::uint32_t;
+constexpr NetId kNullNet = 0xffffffffu;
+
+enum class Op : std::uint8_t {
+  Not,    // out = ~a                      (width w -> w)
+  And,    // out = a & b
+  Or,     // out = a | b
+  Xor,    // out = a ^ b
+  Add,    // out = (a + b) mod 2^w
+  Sub,    // out = (a - b) mod 2^w
+  Eq,     // out = (a == b)                (w,w -> 1)
+  Ult,    // out = (a < b), unsigned       (w,w -> 1)
+  Shl,    // out = a << b, zero fill; shifts >= w yield 0 (b may be narrower)
+  Lshr,   // out = a >> b, logical
+  Mux,    // out = s ? a : b               (1,w,w -> w)
+  Concat, // out = {a, b}; b occupies the low bits (wa, wb -> wa+wb)
+  Slice,  // out = a[lo+w-1 : lo]; lo in aux0
+  ZExt,   // out = zero-extended a
+  RedOr,  // out = |a                      (w -> 1)
+  RedAnd, // out = &a                      (w -> 1)
+};
+
+const char* op_name(Op op);
+
+} // namespace upec::rtlir

@@ -1,0 +1,211 @@
+#include "rtlir/design.h"
+
+#include <sstream>
+
+namespace upec::rtlir {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::Not: return "not";
+    case Op::And: return "and";
+    case Op::Or: return "or";
+    case Op::Xor: return "xor";
+    case Op::Add: return "add";
+    case Op::Sub: return "sub";
+    case Op::Eq: return "eq";
+    case Op::Ult: return "ult";
+    case Op::Shl: return "shl";
+    case Op::Lshr: return "lshr";
+    case Op::Mux: return "mux";
+    case Op::Concat: return "concat";
+    case Op::Slice: return "slice";
+    case Op::ZExt: return "zext";
+    case Op::RedOr: return "redor";
+    case Op::RedAnd: return "redand";
+  }
+  return "?";
+}
+
+NetId Design::add_net(unsigned width, NetKind kind, std::uint32_t payload, std::string name) {
+  Net n;
+  n.width = width;
+  n.kind = kind;
+  n.payload = payload;
+  n.name = std::move(name);
+  nets_.push_back(std::move(n));
+  return static_cast<NetId>(nets_.size() - 1);
+}
+
+NetId Design::add_input(std::string name, unsigned width, bool stable) {
+  const auto idx = static_cast<std::uint32_t>(inputs_.size());
+  const NetId id = add_net(width, NetKind::Input, idx, std::move(name));
+  inputs_.push_back(InputInfo{id, stable});
+  return id;
+}
+
+NetId Design::add_const(const BitVec& value) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(value.width()) << 58) ^ value.value();
+  auto it = const_cache_.find(key);
+  if (it != const_cache_.end() && consts_[nets_[it->second].payload] == value) {
+    return it->second;
+  }
+  const auto idx = static_cast<std::uint32_t>(consts_.size());
+  consts_.push_back(value);
+  const NetId id = add_net(value.width(), NetKind::Const, idx, "");
+  const_cache_[key] = id;
+  return id;
+}
+
+NetId Design::add_cell(Op op, NetId a, NetId b, NetId c, unsigned out_width,
+                       std::uint32_t aux0, std::string name) {
+  const auto idx = static_cast<std::uint32_t>(cells_.size());
+  const NetId out = add_net(out_width, NetKind::Cell, idx, std::move(name));
+  CellNode cell;
+  cell.op = op;
+  cell.a = a;
+  cell.b = b;
+  cell.c = c;
+  cell.out = out;
+  cell.aux0 = aux0;
+  cells_.push_back(cell);
+  return out;
+}
+
+std::uint32_t Design::add_register(std::string name, unsigned width, const BitVec& reset) {
+  const auto idx = static_cast<std::uint32_t>(registers_.size());
+  Register r;
+  r.reset_value = reset;
+  registers_.push_back(r);
+  registers_[idx].q = add_net(width, NetKind::RegQ, idx, std::move(name));
+  return idx;
+}
+
+void Design::connect_register(std::uint32_t reg, NetId d, NetId en) {
+  registers_[reg].d = d;
+  registers_[reg].en = en;
+}
+
+std::uint32_t Design::add_memory(std::string name, std::uint32_t words, unsigned width) {
+  Memory m;
+  m.name = std::move(name);
+  m.words = words;
+  m.width = width;
+  unsigned aw = 1;
+  while ((1u << aw) < words) ++aw;
+  m.addr_width = aw;
+  m.init.assign(words, BitVec::zeros(width));
+  memories_.push_back(std::move(m));
+  return static_cast<std::uint32_t>(memories_.size() - 1);
+}
+
+NetId Design::add_mem_read(std::uint32_t mem, NetId addr) {
+  const auto idx = static_cast<std::uint32_t>(mem_reads_.size());
+  const NetId data =
+      add_net(memories_[mem].width, NetKind::MemRead, idx, memories_[mem].name + ".rdata");
+  mem_reads_.push_back(MemReadPort{mem, addr, data});
+  return data;
+}
+
+void Design::add_mem_write(std::uint32_t mem, NetId addr, NetId data, NetId en) {
+  memories_[mem].writes.push_back(MemWritePort{addr, data, en});
+}
+
+void Design::set_output(std::string name, NetId net) { outputs_[std::move(name)] = net; }
+
+NetId Design::find_output(const std::string& name) const {
+  auto it = outputs_.find(name);
+  return it == outputs_.end() ? kNullNet : it->second;
+}
+
+std::int64_t Design::find_register(const std::string& name) const {
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    if (nets_[registers_[i].q].name == name) return static_cast<std::int64_t>(i);
+  }
+  return -1;
+}
+
+std::int64_t Design::find_memory(const std::string& name) const {
+  for (std::size_t i = 0; i < memories_.size(); ++i) {
+    if (memories_[i].name == name) return static_cast<std::int64_t>(i);
+  }
+  return -1;
+}
+
+std::string Design::validate() const {
+  std::ostringstream err;
+  auto check_width = [&](NetId id, unsigned w, const char* what) {
+    if (id == kNullNet) {
+      err << what << ": unconnected net\n";
+    } else if (nets_[id].width != w) {
+      err << what << ": width " << nets_[id].width << ", expected " << w << "\n";
+    }
+  };
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const CellNode& c = cells_[i];
+    const unsigned wo = nets_[c.out].width;
+    switch (c.op) {
+      case Op::Not:
+      case Op::RedOr:
+      case Op::RedAnd:
+      case Op::ZExt:
+      case Op::Slice:
+        if (c.a == kNullNet) err << "cell " << i << ": missing operand a\n";
+        break;
+      case Op::Mux:
+        check_width(c.a, 1, "mux select");
+        check_width(c.b, wo, "mux b");
+        check_width(c.c, wo, "mux c");
+        break;
+      case Op::Concat:
+        if (c.a == kNullNet || c.b == kNullNet) {
+          err << "cell " << i << ": concat missing operand\n";
+        } else if (nets_[c.a].width + nets_[c.b].width != wo) {
+          err << "cell " << i << ": concat width mismatch\n";
+        }
+        break;
+      case Op::Shl:
+      case Op::Lshr:
+        check_width(c.a, wo, "shift value");
+        if (c.b == kNullNet) err << "cell " << i << ": shift missing amount\n";
+        break;
+      default:
+        check_width(c.a, (c.op == Op::Eq || c.op == Op::Ult) ? nets_[c.a].width : wo, "operand a");
+        if (c.b == kNullNet) {
+          err << "cell " << i << " (" << op_name(c.op) << "): missing operand b\n";
+        } else if (nets_[c.a].width != nets_[c.b].width) {
+          err << "cell " << i << " (" << op_name(c.op) << "): operand width mismatch\n";
+        }
+        break;
+    }
+  }
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    const Register& r = registers_[i];
+    if (r.d == kNullNet) {
+      err << "register " << nets_[r.q].name << ": D input unconnected\n";
+    } else if (nets_[r.d].width != nets_[r.q].width) {
+      err << "register " << nets_[r.q].name << ": D/Q width mismatch\n";
+    }
+    if (r.en != kNullNet && nets_[r.en].width != 1) {
+      err << "register " << nets_[r.q].name << ": enable must be 1 bit\n";
+    }
+    if (r.reset_value.width() != nets_[r.q].width) {
+      err << "register " << nets_[r.q].name << ": reset width mismatch\n";
+    }
+  }
+  for (const Memory& m : memories_) {
+    for (const MemWritePort& w : m.writes) {
+      if (w.addr == kNullNet || w.data == kNullNet) {
+        err << "memory " << m.name << ": incomplete write port\n";
+      } else if (nets_[w.data].width != m.width) {
+        err << "memory " << m.name << ": write data width mismatch\n";
+      }
+    }
+  }
+  for (const MemReadPort& rp : mem_reads_) {
+    if (rp.addr == kNullNet) err << "memory read port: unconnected address\n";
+  }
+  return err.str();
+}
+
+} // namespace upec::rtlir

@@ -1,0 +1,133 @@
+// Flattened word-level netlist: nets, cells, registers, memory arrays.
+//
+// This is the design-under-verification representation shared by the SoC
+// generator (src/soc), the CNF encoder (src/encode) and the cycle-accurate
+// simulator (src/sim). Hierarchy is represented by dotted name paths
+// ("soc.xbar_pub.arb.grant_q"), which is what the UPEC-SSC state-set
+// bookkeeping and counterexample reports key on.
+//
+// State variables of the design (the S_all of the paper) are its registers
+// and the individual words of its memory arrays; see rtlir/analyze.h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rtlir/cell.h"
+#include "util/bitvec.h"
+
+namespace upec::rtlir {
+
+enum class NetKind : std::uint8_t {
+  Input,   // primary input; payload = index into Design::inputs
+  Const,   // constant; payload = index into Design::consts
+  Cell,    // output of combinational cell; payload = cell index
+  RegQ,    // register output; payload = register index
+  MemRead, // combinational memory read data; payload = global read-port index
+};
+
+struct Net {
+  unsigned width = 1;
+  NetKind kind = NetKind::Const;
+  std::uint32_t payload = 0;
+  std::string name; // dotted hierarchical name; may be empty for temps
+};
+
+struct CellNode {
+  Op op;
+  NetId a = kNullNet;
+  NetId b = kNullNet;
+  NetId c = kNullNet; // third operand (Mux select is `a`; data are b, c)
+  NetId out = kNullNet;
+  std::uint32_t aux0 = 0; // Slice: low bit index
+};
+
+struct InputInfo {
+  NetId net = kNullNet;
+  // Stable inputs model specification constants (e.g. the symbolic victim
+  // address range registers): the encoder gives them a single CNF image
+  // shared by every unrolled frame.
+  bool stable = false;
+};
+
+struct Register {
+  NetId d = kNullNet;  // next-state value
+  NetId q = kNullNet;  // current state (a RegQ net)
+  NetId en = kNullNet; // kNullNet => always enabled
+  BitVec reset_value{1, 0};
+};
+
+struct MemReadPort {
+  std::uint32_t mem = 0;
+  NetId addr = kNullNet;
+  NetId data = kNullNet; // a MemRead net
+};
+
+struct MemWritePort {
+  NetId addr = kNullNet;
+  NetId data = kNullNet;
+  NetId en = kNullNet; // 1-bit; kNullNet => always
+};
+
+struct Memory {
+  std::string name;
+  std::uint32_t words = 0;  // number of words; addresses >= words read as 0
+  unsigned width = 0;       // word width in bits
+  unsigned addr_width = 0;
+  std::vector<MemWritePort> writes; // later ports take priority on conflicts
+  std::vector<BitVec> init;         // reset contents (simulation only)
+};
+
+class Design {
+public:
+  // --- construction (used via rtlir::Builder) -------------------------------
+  NetId add_net(unsigned width, NetKind kind, std::uint32_t payload, std::string name);
+  NetId add_input(std::string name, unsigned width, bool stable);
+  NetId add_const(const BitVec& value);
+  NetId add_cell(Op op, NetId a, NetId b, NetId c, unsigned out_width, std::uint32_t aux0,
+                 std::string name);
+  std::uint32_t add_register(std::string name, unsigned width, const BitVec& reset);
+  void connect_register(std::uint32_t reg, NetId d, NetId en);
+  std::uint32_t add_memory(std::string name, std::uint32_t words, unsigned width);
+  NetId add_mem_read(std::uint32_t mem, NetId addr);
+  void add_mem_write(std::uint32_t mem, NetId addr, NetId data, NetId en);
+  void set_output(std::string name, NetId net);
+
+  // --- access ----------------------------------------------------------------
+  const Net& net(NetId id) const { return nets_[id]; }
+  unsigned width(NetId id) const { return nets_[id].width; }
+  std::size_t num_nets() const { return nets_.size(); }
+
+  const std::vector<InputInfo>& inputs() const { return inputs_; }
+  const std::vector<BitVec>& consts() const { return consts_; }
+  const std::vector<CellNode>& cells() const { return cells_; }
+  const std::vector<Register>& registers() const { return registers_; }
+  const std::vector<Memory>& memories() const { return memories_; }
+  const std::vector<MemReadPort>& mem_reads() const { return mem_reads_; }
+  const std::unordered_map<std::string, NetId>& outputs() const { return outputs_; }
+
+  // Named probe lookup; returns kNullNet when absent.
+  NetId find_output(const std::string& name) const;
+  // Register lookup by exact hierarchical name; returns -1 when absent.
+  std::int64_t find_register(const std::string& name) const;
+  std::int64_t find_memory(const std::string& name) const;
+
+  // Consistency check: every net driven, widths legal, register D connected.
+  // Returns an error description, or empty string if the design is well-formed.
+  std::string validate() const;
+
+private:
+  std::vector<Net> nets_;
+  std::vector<InputInfo> inputs_;
+  std::vector<BitVec> consts_;
+  std::vector<CellNode> cells_;
+  std::vector<Register> registers_;
+  std::vector<Memory> memories_;
+  std::vector<MemReadPort> mem_reads_;
+  std::unordered_map<std::string, NetId> outputs_;
+  std::unordered_map<std::uint64_t, NetId> const_cache_;
+};
+
+} // namespace upec::rtlir

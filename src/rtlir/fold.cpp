@@ -1,0 +1,93 @@
+#include "rtlir/fold.h"
+
+#include <cassert>
+
+#include "rtlir/analyze.h"
+
+namespace upec::rtlir {
+
+BitVec eval_cell(const CellNode& cell, const BitVec& a, const BitVec& b, const BitVec& c,
+                 unsigned out_width) {
+  const std::uint64_t mask = BitVec::mask(out_width);
+  switch (cell.op) {
+    case Op::Not: return BitVec(out_width, ~a.value());
+    case Op::And: return BitVec(out_width, a.value() & b.value());
+    case Op::Or: return BitVec(out_width, a.value() | b.value());
+    case Op::Xor: return BitVec(out_width, a.value() ^ b.value());
+    case Op::Add: return BitVec(out_width, (a.value() + b.value()) & mask);
+    case Op::Sub: return BitVec(out_width, (a.value() - b.value()) & mask);
+    case Op::Eq: return BitVec(1, a.value() == b.value() ? 1 : 0);
+    case Op::Ult: return BitVec(1, a.value() < b.value() ? 1 : 0);
+    case Op::Shl: {
+      const std::uint64_t sh = b.value();
+      return BitVec(out_width, sh >= out_width ? 0 : (a.value() << sh) & mask);
+    }
+    case Op::Lshr: {
+      const std::uint64_t sh = b.value();
+      return BitVec(out_width, sh >= out_width ? 0 : a.value() >> sh);
+    }
+    case Op::Mux: return a.value() ? b : c;
+    case Op::Concat:
+      return BitVec(out_width, (a.value() << b.width()) | b.value());
+    case Op::Slice: return BitVec(out_width, a.value() >> cell.aux0);
+    case Op::ZExt: return BitVec(out_width, a.value());
+    case Op::RedOr: return BitVec(1, a.value() != 0 ? 1 : 0);
+    case Op::RedAnd:
+      return BitVec(1, a.value() == BitVec::mask(a.width()) ? 1 : 0);
+  }
+  assert(false && "unhandled op");
+  return BitVec(out_width, 0);
+}
+
+std::vector<std::optional<BitVec>> fold_constants(const Design& design) {
+  std::vector<std::optional<BitVec>> val(design.num_nets());
+  for (NetId n = 0; n < design.num_nets(); ++n) {
+    const Net& info = design.net(n);
+    if (info.kind == NetKind::Const) val[n] = design.consts()[info.payload];
+  }
+  bool cyclic = false;
+  const auto order = topo_order_cells(design, &cyclic);
+  if (cyclic) return val;
+  for (std::uint32_t ci : order) {
+    const CellNode& cell = design.cells()[ci];
+    auto get = [&](NetId x) -> std::optional<BitVec> {
+      return x == kNullNet ? std::optional<BitVec>(BitVec(1, 0)) : val[x];
+    };
+    const auto a = get(cell.a);
+    const auto b = get(cell.b);
+    const auto c = get(cell.c);
+    const unsigned w = design.width(cell.out);
+    // Full fold when all operands constant.
+    if (a && b && c) {
+      val[cell.out] = eval_cell(cell, *a, *b, *c, w);
+      continue;
+    }
+    // Partial folds that still yield constants.
+    switch (cell.op) {
+      case Op::And:
+        if ((a && a->is_zero()) || (b && b->is_zero())) val[cell.out] = BitVec::zeros(w);
+        break;
+      case Op::Or:
+        if ((a && *a == BitVec::ones(w)) || (b && *b == BitVec::ones(w))) {
+          val[cell.out] = BitVec::ones(w);
+        }
+        break;
+      case Op::Mux:
+        if (a) {
+          // Select is constant: result equals the chosen branch if constant.
+          const auto& chosen = a->value() ? b : c;
+          if (chosen) val[cell.out] = *chosen;
+        } else if (b && c && *b == *c) {
+          val[cell.out] = *b;
+        }
+        break;
+      case Op::RedAnd:
+        if (a) break; // handled above
+        break;
+      default: break;
+    }
+  }
+  return val;
+}
+
+} // namespace upec::rtlir

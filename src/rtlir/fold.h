@@ -1,0 +1,22 @@
+// Constant analysis: computes, for every net, whether its value is fixed by
+// constants alone (independent of inputs and state). The encoder uses this to
+// avoid emitting CNF for dead decode logic, and the builder-level tests use
+// it to validate simplification invariants.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "rtlir/design.h"
+
+namespace upec::rtlir {
+
+// Pure combinational evaluation of a single cell; shared by the constant
+// folder and the cycle-accurate simulator so both agree on semantics.
+BitVec eval_cell(const CellNode& cell, const BitVec& a, const BitVec& b, const BitVec& c,
+                 unsigned out_width);
+
+// For each net: its constant value if one can be derived structurally.
+std::vector<std::optional<BitVec>> fold_constants(const Design& design);
+
+} // namespace upec::rtlir

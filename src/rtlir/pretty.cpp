@@ -1,0 +1,64 @@
+#include "rtlir/pretty.h"
+
+#include <sstream>
+
+#include "rtlir/analyze.h"
+
+namespace upec::rtlir {
+
+namespace {
+std::string net_ref(const Design& d, NetId n) {
+  if (n == kNullNet) return "-";
+  const Net& info = d.net(n);
+  std::string label = "n" + std::to_string(n);
+  if (info.kind == NetKind::Const) {
+    label = d.consts()[info.payload].to_hex();
+  } else if (!info.name.empty()) {
+    label += "(" + info.name + ")";
+  }
+  return label;
+}
+} // namespace
+
+std::string summarize(const Design& design) {
+  const DesignStats s = design_stats(design);
+  std::ostringstream os;
+  os << "nets=" << s.nets << " cells=" << s.cells << " registers=" << s.registers
+     << " memories=" << s.memories << " (" << s.mem_words << " words)"
+     << " state_vars=" << s.state_vars << " state_bits=" << s.state_bits;
+  return os.str();
+}
+
+void dump(const Design& design, std::ostream& os) {
+  os << "design { " << summarize(design) << "\n";
+  for (const InputInfo& in : design.inputs()) {
+    os << "  input " << net_ref(design, in.net) << " width=" << design.width(in.net)
+       << (in.stable ? " stable" : "") << "\n";
+  }
+  for (std::size_t i = 0; i < design.cells().size(); ++i) {
+    const CellNode& c = design.cells()[i];
+    os << "  " << net_ref(design, c.out) << " = " << op_name(c.op) << "(" << net_ref(design, c.a);
+    if (c.b != kNullNet) os << ", " << net_ref(design, c.b);
+    if (c.c != kNullNet) os << ", " << net_ref(design, c.c);
+    if (c.op == Op::Slice) os << ", lo=" << c.aux0;
+    os << ")\n";
+  }
+  for (const Register& r : design.registers()) {
+    os << "  reg " << net_ref(design, r.q) << " <= " << net_ref(design, r.d);
+    if (r.en != kNullNet) os << " when " << net_ref(design, r.en);
+    os << " reset=" << r.reset_value.to_hex() << "\n";
+  }
+  for (const Memory& m : design.memories()) {
+    os << "  mem " << m.name << " words=" << m.words << " width=" << m.width << "\n";
+    for (const MemWritePort& w : m.writes) {
+      os << "    write addr=" << net_ref(design, w.addr) << " data=" << net_ref(design, w.data)
+         << " en=" << net_ref(design, w.en) << "\n";
+    }
+  }
+  for (const auto& [name, net] : design.outputs()) {
+    os << "  output " << name << " = " << net_ref(design, net) << "\n";
+  }
+  os << "}\n";
+}
+
+} // namespace upec::rtlir

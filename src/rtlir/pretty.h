@@ -1,0 +1,18 @@
+// Human-readable dumps of a design: summary statistics and a flat
+// netlist listing, used by debug tooling and the documentation examples.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "rtlir/design.h"
+
+namespace upec::rtlir {
+
+// One-paragraph summary (cell/register/memory/state-bit counts).
+std::string summarize(const Design& design);
+
+// Full listing: one line per input, cell, register and memory.
+void dump(const Design& design, std::ostream& os);
+
+} // namespace upec::rtlir

@@ -1,0 +1,24 @@
+#include "sat/dimacs.h"
+
+namespace upec::sat {
+
+namespace {
+long as_dimacs(Lit l) {
+  const long v = l.var() + 1; // DIMACS variables are 1-based
+  return l.sign() ? -v : v;
+}
+} // namespace
+
+void write_dimacs(std::ostream& os, const Solver& solver, const std::vector<Lit>& assumptions) {
+  std::size_t count = assumptions.size();
+  solver.for_each_problem_clause([&](const std::vector<Lit>&) { ++count; });
+
+  os << "p cnf " << solver.num_vars() << ' ' << count << '\n';
+  solver.for_each_problem_clause([&](const std::vector<Lit>& clause) {
+    for (Lit l : clause) os << as_dimacs(l) << ' ';
+    os << "0\n";
+  });
+  for (Lit a : assumptions) os << as_dimacs(a) << " 0\n";
+}
+
+} // namespace upec::sat

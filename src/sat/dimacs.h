@@ -1,0 +1,18 @@
+// DIMACS CNF export: writes the solver's problem clauses in the standard
+// format so instances can be cross-checked with external SAT solvers or
+// archived alongside experiment results.
+#pragma once
+
+#include <ostream>
+
+#include "sat/solver.h"
+
+namespace upec::sat {
+
+// Writes `p cnf <vars> <clauses>` followed by one clause per line. Optional
+// `assumptions` are appended as unit clauses (freezing one property check
+// into a standalone instance).
+void write_dimacs(std::ostream& os, const Solver& solver,
+                  const std::vector<Lit>& assumptions = {});
+
+} // namespace upec::sat

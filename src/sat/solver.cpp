@@ -1,0 +1,566 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace upec::sat {
+
+Solver::Solver() = default;
+
+Var Solver::new_var() {
+  const Var v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(LBool::Undef);
+  phase_.push_back(0);
+  var_info_.push_back(VarInfo{});
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_pos_.push_back(-1);
+  heap_insert(v);
+  return v;
+}
+
+Solver::ClauseRef Solver::alloc_clause(const std::vector<Lit>& lits, bool learned) {
+  ClauseData cd;
+  cd.offset = static_cast<std::uint32_t>(lit_arena_.size());
+  cd.size = static_cast<std::uint32_t>(lits.size());
+  cd.learned = learned;
+  lit_arena_.insert(lit_arena_.end(), lits.begin(), lits.end());
+  clauses_.push_back(cd);
+  return static_cast<ClauseRef>(clauses_.size() - 1);
+}
+
+void Solver::attach_clause(ClauseRef c) {
+  const Lit* lits = clause_lits(c);
+  assert(clauses_[c].size >= 2);
+  watches_[(~lits[0]).index()].push_back(Watcher{c, lits[1]});
+  watches_[(~lits[1]).index()].push_back(Watcher{c, lits[0]});
+}
+
+void Solver::detach_clause(ClauseRef c) {
+  const Lit* lits = clause_lits(c);
+  for (int i = 0; i < 2; ++i) {
+    auto& ws = watches_[(~lits[i]).index()];
+    for (std::size_t j = 0; j < ws.size(); ++j) {
+      if (ws[j].cref == c) {
+        ws[j] = ws.back();
+        ws.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+bool Solver::add_clause(const std::vector<Lit>& lits_in) {
+  if (!ok_) return false;
+  // Clause addition must happen at the root level: literal values consulted
+  // below for simplification are only trustworthy there. A previous solve()
+  // may have left assumption decisions on the trail (e.g. after an UNSAT
+  // answer); clear them first.
+  cancel_until(0);
+
+  std::vector<Lit> lits = lits_in;
+  std::sort(lits.begin(), lits.end());
+  // Remove duplicates; detect tautologies and already-satisfied clauses.
+  std::vector<Lit> out;
+  Lit prev = Lit::undef();
+  for (Lit l : lits) {
+    if (value(l) == LBool::True || l == ~prev) return true; // satisfied / tautology
+    if (value(l) != LBool::False && l != prev) {
+      out.push_back(l);
+      prev = l;
+    }
+  }
+
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    uncheckedEnqueue(out[0], kNoClause);
+    ok_ = (propagate() == kNoClause);
+    return ok_;
+  }
+  ClauseRef c = alloc_clause(out, /*learned=*/false);
+  attach_clause(c);
+  return true;
+}
+
+void Solver::uncheckedEnqueue(Lit p, ClauseRef from) {
+  assert(value(p) == LBool::Undef);
+  assigns_[static_cast<std::size_t>(p.var())] = lbool_from(!p.sign());
+  var_info_[static_cast<std::size_t>(p.var())] = VarInfo{from, decision_level()};
+  trail_.push_back(p);
+}
+
+Solver::ClauseRef Solver::propagate() {
+  ClauseRef confl = kNoClause;
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    auto& ws = watches_[p.index()];
+    std::size_t i = 0, j = 0;
+    const std::size_t n = ws.size();
+    while (i < n) {
+      const Watcher w = ws[i++];
+      if (value(w.blocker) == LBool::True) {
+        ws[j++] = w;
+        continue;
+      }
+      ClauseData& cd = clauses_[w.cref];
+      Lit* lits = clause_lits(w.cref);
+      // Make sure the false literal is lits[1].
+      const Lit false_lit = ~p;
+      if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
+      assert(lits[1] == false_lit);
+
+      const Lit first = lits[0];
+      if (first != w.blocker && value(first) == LBool::True) {
+        ws[j++] = Watcher{w.cref, first};
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool found = false;
+      for (std::uint32_t k = 2; k < cd.size; ++k) {
+        if (value(lits[k]) != LBool::False) {
+          std::swap(lits[1], lits[k]);
+          watches_[(~lits[1]).index()].push_back(Watcher{w.cref, first});
+          found = true;
+          break;
+        }
+      }
+      if (found) continue;
+
+      // Clause is unit or conflicting.
+      ws[j++] = Watcher{w.cref, first};
+      if (value(first) == LBool::False) {
+        confl = w.cref;
+        qhead_ = trail_.size();
+        while (i < n) ws[j++] = ws[i++];
+      } else {
+        uncheckedEnqueue(first, w.cref);
+      }
+    }
+    ws.resize(j);
+    if (confl != kNoClause) break;
+  }
+  return confl;
+}
+
+void Solver::var_bump_activity(Var v) {
+  activity_[static_cast<std::size_t>(v)] += var_inc_;
+  if (activity_[static_cast<std::size_t>(v)] > 1e100) {
+    for (auto& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (heap_pos_[static_cast<std::size_t>(v)] >= 0) heap_update(v);
+}
+
+void Solver::cla_bump_activity(ClauseData& c) {
+  c.activity += cla_inc_;
+  if (c.activity > 1e20f) {
+    for (ClauseRef cr : learnts_) clauses_[cr].activity *= 1e-20f;
+    cla_inc_ *= 1e-20f;
+  }
+}
+
+void Solver::analyze(ClauseRef confl, std::vector<Lit>& out_learnt, int& out_btlevel,
+                     unsigned& out_lbd) {
+  int path_count = 0;
+  Lit p = Lit::undef();
+  out_learnt.clear();
+  out_learnt.push_back(Lit::undef()); // reserve slot for the asserting literal
+  std::size_t index = trail_.size();
+
+  do {
+    assert(confl != kNoClause);
+    ClauseData& cd = clauses_[confl];
+    if (cd.learned) cla_bump_activity(cd);
+    Lit* lits = clause_lits(confl);
+    for (std::uint32_t k = (p == Lit::undef()) ? 0 : 1; k < cd.size; ++k) {
+      const Lit q = lits[k];
+      const Var v = q.var();
+      if (!seen_[static_cast<std::size_t>(v)] && var_info_[static_cast<std::size_t>(v)].level > 0) {
+        seen_[static_cast<std::size_t>(v)] = 1;
+        var_bump_activity(v);
+        if (var_info_[static_cast<std::size_t>(v)].level >= decision_level()) {
+          ++path_count;
+        } else {
+          out_learnt.push_back(q);
+        }
+      }
+    }
+    // Select next literal on the trail to expand.
+    while (!seen_[static_cast<std::size_t>(trail_[index - 1].var())]) --index;
+    p = trail_[--index];
+    confl = var_info_[static_cast<std::size_t>(p.var())].reason;
+    seen_[static_cast<std::size_t>(p.var())] = 0;
+    --path_count;
+  } while (path_count > 0);
+  out_learnt[0] = ~p;
+
+  // Conflict-clause minimization (recursive, abstraction-guided).
+  analyze_toclear_ = out_learnt;
+  std::uint32_t abstract_levels = 0;
+  for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+    const int lv = var_info_[static_cast<std::size_t>(out_learnt[i].var())].level;
+    abstract_levels |= 1u << (lv & 31);
+  }
+  std::size_t keep = 1;
+  for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+    const Var v = out_learnt[i].var();
+    if (var_info_[static_cast<std::size_t>(v)].reason == kNoClause ||
+        !lit_redundant(out_learnt[i], abstract_levels)) {
+      out_learnt[keep++] = out_learnt[i];
+    }
+  }
+  out_learnt.resize(keep);
+  for (Lit l : analyze_toclear_) seen_[static_cast<std::size_t>(l.var())] = 0;
+
+  // Compute backtrack level and LBD.
+  if (out_learnt.size() == 1) {
+    out_btlevel = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < out_learnt.size(); ++i) {
+      if (var_info_[static_cast<std::size_t>(out_learnt[i].var())].level >
+          var_info_[static_cast<std::size_t>(out_learnt[max_i].var())].level) {
+        max_i = i;
+      }
+    }
+    std::swap(out_learnt[1], out_learnt[max_i]);
+    out_btlevel = var_info_[static_cast<std::size_t>(out_learnt[1].var())].level;
+  }
+  // LBD: number of distinct decision levels in the learnt clause.
+  out_lbd = 0;
+  std::uint64_t level_seen_lo = 0, level_seen_hi = 0;
+  for (Lit l : out_learnt) {
+    const int lv = var_info_[static_cast<std::size_t>(l.var())].level;
+    std::uint64_t& word = (lv & 64) ? level_seen_hi : level_seen_lo;
+    const std::uint64_t bit = 1ULL << (lv & 63);
+    if (!(word & bit)) {
+      word |= bit;
+      ++out_lbd;
+    }
+  }
+}
+
+bool Solver::lit_redundant(Lit p, std::uint32_t abstract_levels) {
+  analyze_stack_.clear();
+  analyze_stack_.push_back(p);
+  const std::size_t top = analyze_toclear_.size();
+  while (!analyze_stack_.empty()) {
+    const Lit q = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    const ClauseRef reason = var_info_[static_cast<std::size_t>(q.var())].reason;
+    assert(reason != kNoClause);
+    const ClauseData& cd = clauses_[reason];
+    const Lit* lits = clause_lits(reason);
+    for (std::uint32_t k = 1; k < cd.size; ++k) {
+      const Lit r = lits[k];
+      const Var v = r.var();
+      const int lv = var_info_[static_cast<std::size_t>(v)].level;
+      if (!seen_[static_cast<std::size_t>(v)] && lv > 0) {
+        if (var_info_[static_cast<std::size_t>(v)].reason != kNoClause &&
+            ((1u << (lv & 31)) & abstract_levels)) {
+          seen_[static_cast<std::size_t>(v)] = 1;
+          analyze_stack_.push_back(r);
+          analyze_toclear_.push_back(r);
+        } else {
+          for (std::size_t j = top; j < analyze_toclear_.size(); ++j) {
+            seen_[static_cast<std::size_t>(analyze_toclear_[j].var())] = 0;
+          }
+          analyze_toclear_.resize(top);
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void Solver::analyze_final(Lit p) {
+  conflict_.clear();
+  conflict_.push_back(p);
+  if (decision_level() == 0) return;
+  seen_[static_cast<std::size_t>(p.var())] = 1;
+  for (std::size_t i = trail_.size(); i-- > static_cast<std::size_t>(trail_lim_[0]);) {
+    const Var v = trail_[i].var();
+    if (!seen_[static_cast<std::size_t>(v)]) continue;
+    const ClauseRef reason = var_info_[static_cast<std::size_t>(v)].reason;
+    if (reason == kNoClause) {
+      assert(var_info_[static_cast<std::size_t>(v)].level > 0);
+      conflict_.push_back(~trail_[i]);
+    } else {
+      const ClauseData& cd = clauses_[reason];
+      const Lit* lits = clause_lits(reason);
+      for (std::uint32_t k = 1; k < cd.size; ++k) {
+        if (var_info_[static_cast<std::size_t>(lits[k].var())].level > 0) {
+          seen_[static_cast<std::size_t>(lits[k].var())] = 1;
+        }
+      }
+    }
+    seen_[static_cast<std::size_t>(v)] = 0;
+  }
+  seen_[static_cast<std::size_t>(p.var())] = 0;
+}
+
+void Solver::cancel_until(int level) {
+  if (decision_level() <= level) return;
+  for (std::size_t c = trail_.size(); c-- > static_cast<std::size_t>(trail_lim_[level]);) {
+    const Var v = trail_[c].var();
+    assigns_[static_cast<std::size_t>(v)] = LBool::Undef;
+    phase_[static_cast<std::size_t>(v)] = trail_[c].sign() ? -1 : 1;
+    if (heap_pos_[static_cast<std::size_t>(v)] < 0) heap_insert(v);
+  }
+  qhead_ = static_cast<std::size_t>(trail_lim_[level]);
+  trail_.resize(static_cast<std::size_t>(trail_lim_[level]));
+  trail_lim_.resize(static_cast<std::size_t>(level));
+}
+
+Lit Solver::pick_branch_lit() {
+  Var next = kUndefVar;
+  while (next == kUndefVar || value(next) != LBool::Undef) {
+    if (heap_empty()) return Lit::undef();
+    next = heap_pop();
+  }
+  const signed char ph = phase_[static_cast<std::size_t>(next)];
+  return Lit(next, ph < 0);
+}
+
+void Solver::reduce_db() {
+  // Keep clauses with small LBD; delete the less active half of the rest.
+  std::sort(learnts_.begin(), learnts_.end(), [this](ClauseRef a, ClauseRef b) {
+    const ClauseData& ca = clauses_[a];
+    const ClauseData& cb = clauses_[b];
+    if (ca.lbd != cb.lbd) return ca.lbd > cb.lbd;
+    return ca.activity < cb.activity;
+  });
+  std::vector<ClauseRef> kept;
+  kept.reserve(learnts_.size());
+  const std::size_t target = learnts_.size() / 2;
+  for (std::size_t i = 0; i < learnts_.size(); ++i) {
+    ClauseRef cr = learnts_[i];
+    ClauseData& cd = clauses_[cr];
+    bool locked = false;
+    // A clause is locked if it is the reason for a current assignment.
+    const Lit l0 = clause_lits(cr)[0];
+    if (value(l0) == LBool::True &&
+        var_info_[static_cast<std::size_t>(l0.var())].reason == cr) {
+      locked = true;
+    }
+    if (i < target && cd.lbd > 2 && !locked) {
+      detach_clause(cr);
+      cd.deleted = true;
+      ++stats_.deleted_clauses;
+    } else {
+      kept.push_back(cr);
+    }
+  }
+  learnts_ = std::move(kept);
+}
+
+double Solver::luby(double y, int x) {
+  int size = 1, seq = 0;
+  while (size < x + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != x) {
+    size = (size - 1) >> 1;
+    --seq;
+    x = x % size;
+  }
+  return std::pow(y, seq);
+}
+
+bool Solver::solve(const std::vector<Lit>& assumptions) {
+  ++stats_.solve_calls;
+  assumptions_ = assumptions;
+  conflict_.clear();
+  model_.clear();
+  if (!ok_) return false;
+
+  cancel_until(0);
+
+  int restart_count = 0;
+  std::uint64_t conflicts_until_restart =
+      static_cast<std::uint64_t>(luby(2.0, restart_count) * 100);
+  std::uint64_t conflicts_this_restart = 0;
+  const std::uint64_t budget_start = stats_.conflicts;
+
+  for (;;) {
+    const ClauseRef confl = propagate();
+    if (confl != kNoClause) {
+      ++stats_.conflicts;
+      ++conflicts_this_restart;
+      if (conflict_budget_ && stats_.conflicts - budget_start > conflict_budget_) {
+        cancel_until(0);
+        throw SolverInterrupted{};
+      }
+      if (decision_level() == 0) {
+        // Conflict independent of assumptions: formula is UNSAT outright.
+        ok_ = false;
+        return false;
+      }
+      std::vector<Lit> learnt;
+      int bt_level = 0;
+      unsigned lbd = 0;
+      analyze(confl, learnt, bt_level, lbd);
+      // Never backtrack past the assumptions: redo them via the decision loop.
+      cancel_until(bt_level);
+      if (learnt.size() == 1) {
+        if (value(learnt[0]) == LBool::Undef) {
+          uncheckedEnqueue(learnt[0], kNoClause);
+        } else if (value(learnt[0]) == LBool::False) {
+          ok_ = false;
+          return false;
+        }
+      } else {
+        const ClauseRef cr = alloc_clause(learnt, /*learned=*/true);
+        clauses_[cr].lbd = lbd;
+        attach_clause(cr);
+        learnts_.push_back(cr);
+        ++stats_.learned_clauses;
+        uncheckedEnqueue(learnt[0], cr);
+      }
+      var_decay_activity();
+      if (learnts_.size() >= max_learnts_) {
+        reduce_db();
+        max_learnts_ = max_learnts_ + max_learnts_ / 10;
+      }
+    } else {
+      if (conflicts_this_restart >= conflicts_until_restart &&
+          decision_level() > static_cast<int>(assumptions_.size())) {
+        ++stats_.restarts;
+        ++restart_count;
+        conflicts_this_restart = 0;
+        conflicts_until_restart = static_cast<std::uint64_t>(luby(2.0, restart_count) * 100);
+        cancel_until(static_cast<int>(assumptions_.size()));
+        continue;
+      }
+      // Place assumptions as pseudo-decisions first.
+      Lit next = Lit::undef();
+      while (decision_level() < static_cast<int>(assumptions_.size())) {
+        const Lit a = assumptions_[static_cast<std::size_t>(decision_level())];
+        if (value(a) == LBool::True) {
+          trail_lim_.push_back(static_cast<int>(trail_.size())); // dummy level
+        } else if (value(a) == LBool::False) {
+          analyze_final(~a);
+          cancel_until(0);
+          return false;
+        } else {
+          next = a;
+          break;
+        }
+      }
+      if (next == Lit::undef()) {
+        ++stats_.decisions;
+        next = pick_branch_lit();
+        if (next == Lit::undef()) {
+          // All variables assigned: model found.
+          model_.assign(assigns_.begin(), assigns_.end());
+          cancel_until(0);
+          return true;
+        }
+      }
+      trail_lim_.push_back(static_cast<int>(trail_.size()));
+      uncheckedEnqueue(next, kNoClause);
+    }
+  }
+}
+
+
+void Solver::for_each_problem_clause(
+    const std::function<void(const std::vector<Lit>&)>& fn) const {
+  std::vector<Lit> tmp;
+  for (const ClauseData& cd : clauses_) {
+    if (cd.learned || cd.deleted) continue;
+    tmp.assign(lit_arena_.begin() + cd.offset, lit_arena_.begin() + cd.offset + cd.size);
+    fn(tmp);
+  }
+  // Level-0 units (facts) that never became stored clauses.
+  for (std::size_t i = 0; i < trail_.size(); ++i) {
+    const Var v = trail_[i].var();
+    if (var_info_[static_cast<std::size_t>(v)].level != 0) break;
+    if (var_info_[static_cast<std::size_t>(v)].reason == kNoClause) {
+      tmp.assign(1, trail_[i]);
+      fn(tmp);
+    }
+  }
+}
+
+std::size_t Solver::validate_model() const {
+  std::size_t violated = 0;
+  for_each_problem_clause([&](const std::vector<Lit>& clause) {
+    for (Lit l : clause) {
+      if (model_value(l)) return;
+    }
+    ++violated;
+  });
+  return violated;
+}
+
+// --- binary max-heap on VSIDS activity ---------------------------------------
+
+void Solver::heap_insert(Var v) {
+  if (heap_pos_[static_cast<std::size_t>(v)] >= 0) return;
+  heap_pos_[static_cast<std::size_t>(v)] = static_cast<int>(heap_.size());
+  heap_.push_back(v);
+  heap_percolate_up(static_cast<int>(heap_.size()) - 1);
+}
+
+void Solver::heap_update(Var v) {
+  const int i = heap_pos_[static_cast<std::size_t>(v)];
+  if (i < 0) return;
+  heap_percolate_up(i);
+  heap_percolate_down(heap_pos_[static_cast<std::size_t>(v)]);
+}
+
+Var Solver::heap_pop() {
+  const Var top = heap_[0];
+  heap_pos_[static_cast<std::size_t>(top)] = -1;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_pos_[static_cast<std::size_t>(heap_[0])] = 0;
+    heap_percolate_down(0);
+  }
+  return top;
+}
+
+void Solver::heap_percolate_up(int i) {
+  const Var v = heap_[static_cast<std::size_t>(i)];
+  while (i > 0) {
+    const int parent = (i - 1) >> 1;
+    if (!heap_lt(v, heap_[static_cast<std::size_t>(parent)])) break;
+    heap_[static_cast<std::size_t>(i)] = heap_[static_cast<std::size_t>(parent)];
+    heap_pos_[static_cast<std::size_t>(heap_[static_cast<std::size_t>(i)])] = i;
+    i = parent;
+  }
+  heap_[static_cast<std::size_t>(i)] = v;
+  heap_pos_[static_cast<std::size_t>(v)] = i;
+}
+
+void Solver::heap_percolate_down(int i) {
+  const Var v = heap_[static_cast<std::size_t>(i)];
+  const int n = static_cast<int>(heap_.size());
+  for (;;) {
+    int child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n &&
+        heap_lt(heap_[static_cast<std::size_t>(child + 1)], heap_[static_cast<std::size_t>(child)])) {
+      ++child;
+    }
+    if (!heap_lt(heap_[static_cast<std::size_t>(child)], v)) break;
+    heap_[static_cast<std::size_t>(i)] = heap_[static_cast<std::size_t>(child)];
+    heap_pos_[static_cast<std::size_t>(heap_[static_cast<std::size_t>(i)])] = i;
+    i = child;
+  }
+  heap_[static_cast<std::size_t>(i)] = v;
+  heap_pos_[static_cast<std::size_t>(v)] = i;
+}
+
+} // namespace upec::sat

@@ -1,0 +1,180 @@
+// From-scratch CDCL SAT solver.
+//
+// This is the decision engine underneath the IPC layer: every UPEC-SSC
+// property check bit-blasts to one incremental SAT query. The design follows
+// the classic MiniSat architecture (Eén & Sörensson):
+//   - two-watched-literal propagation,
+//   - first-UIP conflict analysis with clause minimization,
+//   - VSIDS decision heuristic with phase saving,
+//   - Luby-sequence restarts,
+//   - learned-clause database reduction driven by LBD (glue),
+//   - solving under assumptions for incremental use (the Alg. 1 / Alg. 2
+//     loops re-solve the same transition relation with shrinking state sets,
+//     so clauses are kept across calls and only the assumption set changes).
+#pragma once
+
+#include <functional>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace upec::sat {
+
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t deleted_clauses = 0;
+  std::uint64_t solve_calls = 0;
+};
+
+class Solver {
+public:
+  Solver();
+
+  // --- Problem construction -------------------------------------------------
+  Var new_var();
+  int num_vars() const { return static_cast<int>(assigns_.size()); }
+
+  // Adds a clause; returns false if the formula became trivially UNSAT.
+  bool add_clause(const std::vector<Lit>& lits);
+  bool add_clause(Lit a) { return add_clause(std::vector<Lit>{a}); }
+  bool add_clause(Lit a, Lit b) { return add_clause(std::vector<Lit>{a, b}); }
+  bool add_clause(Lit a, Lit b, Lit c) { return add_clause(std::vector<Lit>{a, b, c}); }
+
+  // --- Solving ---------------------------------------------------------------
+  // Solve under the given assumptions. Clauses persist across calls.
+  bool solve(const std::vector<Lit>& assumptions = {});
+
+  // After solve() returned true: value of a variable in the model. Variables
+  // created after the solve read as false.
+  bool model_value(Var v) const {
+    const auto i = static_cast<std::size_t>(v);
+    return i < model_.size() && model_[i] == LBool::True;
+  }
+  bool model_value(Lit l) const { return model_value(l.var()) != l.sign(); }
+
+  // After solve() returned false: subset of the assumptions responsible for
+  // the UNSAT answer (the "final conflict"), usable as a crude core.
+  const std::vector<Lit>& conflict_assumptions() const { return conflict_; }
+
+  const SolverStats& stats() const { return stats_; }
+
+  // Iterates all live problem (non-learnt) clauses; used by the DIMACS dump,
+  // model validation in tests, and debugging tooling. Unit clauses absorbed
+  // into level-0 assignments are reported as single-literal clauses.
+  void for_each_problem_clause(const std::function<void(const std::vector<Lit>&)>& fn) const;
+
+  // After a satisfiable solve: checks the model against every problem clause
+  // and level-0 unit; returns the number of violated clauses (0 = valid).
+  std::size_t validate_model() const;
+
+  // Budget: abort solve() (returning UNSAT=false is wrong, so solve() throws
+  // SolverInterrupted) after this many conflicts. 0 = no limit.
+  void set_conflict_budget(std::uint64_t budget) { conflict_budget_ = budget; }
+
+  bool okay() const { return ok_; }
+
+private:
+  struct ClauseData {
+    std::uint32_t offset;   // into literal arena
+    std::uint32_t size;
+    float activity = 0.0f;
+    std::uint32_t lbd = 0;
+    bool learned = false;
+    bool deleted = false;
+  };
+  using ClauseRef = std::uint32_t;
+  static constexpr ClauseRef kNoClause = std::numeric_limits<ClauseRef>::max();
+
+  struct Watcher {
+    ClauseRef cref;
+    Lit blocker;
+  };
+
+  struct VarInfo {
+    ClauseRef reason = kNoClause;
+    std::int32_t level = 0;
+  };
+
+  // --- internals -------------------------------------------------------------
+  Lit* clause_lits(ClauseRef c) { return lit_arena_.data() + clauses_[c].offset; }
+  const Lit* clause_lits(ClauseRef c) const { return lit_arena_.data() + clauses_[c].offset; }
+
+  LBool value(Var v) const { return assigns_[static_cast<std::size_t>(v)]; }
+  LBool value(Lit l) const {
+    LBool v = assigns_[static_cast<std::size_t>(l.var())];
+    return l.sign() ? lbool_not(v) : v;
+  }
+
+  ClauseRef alloc_clause(const std::vector<Lit>& lits, bool learned);
+  void attach_clause(ClauseRef c);
+  void detach_clause(ClauseRef c);
+
+  void uncheckedEnqueue(Lit p, ClauseRef from);
+  ClauseRef propagate();
+  void analyze(ClauseRef confl, std::vector<Lit>& out_learnt, int& out_btlevel, unsigned& out_lbd);
+  bool lit_redundant(Lit p, std::uint32_t abstract_levels);
+  void analyze_final(Lit p);
+  void cancel_until(int level);
+  Lit pick_branch_lit();
+  void reduce_db();
+  void var_bump_activity(Var v);
+  void var_decay_activity() { var_inc_ *= (1.0 / 0.95); }
+  void cla_bump_activity(ClauseData& c);
+
+  int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+
+  // order heap (binary max-heap on activity)
+  void heap_insert(Var v);
+  void heap_update(Var v);
+  Var heap_pop();
+  bool heap_empty() const { return heap_.empty(); }
+  void heap_percolate_up(int i);
+  void heap_percolate_down(int i);
+  bool heap_lt(Var a, Var b) const { return activity_[a] > activity_[b]; }
+
+  static double luby(double y, int x);
+
+  // --- state -----------------------------------------------------------------
+  bool ok_ = true;
+  std::vector<Lit> lit_arena_;
+  std::vector<ClauseData> clauses_;
+  std::vector<ClauseRef> learnts_;
+  std::vector<std::vector<Watcher>> watches_; // indexed by literal index
+
+  std::vector<LBool> assigns_;
+  std::vector<LBool> model_;
+  std::vector<signed char> phase_; // saved phase per var
+  std::vector<VarInfo> var_info_;
+  std::vector<double> activity_;
+  std::vector<char> seen_;
+  std::vector<Lit> analyze_stack_;
+  std::vector<Lit> analyze_toclear_;
+
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  std::vector<int> heap_;     // heap of vars
+  std::vector<int> heap_pos_; // var -> index in heap_ or -1
+
+  std::vector<Lit> assumptions_;
+  std::vector<Lit> conflict_;
+
+  double var_inc_ = 1.0;
+  float cla_inc_ = 1.0f;
+  std::uint64_t max_learnts_ = 8192;
+  std::uint64_t conflict_budget_ = 0;
+
+  SolverStats stats_;
+};
+
+// Thrown when the conflict budget is exhausted; callers treat it as "unknown".
+struct SolverInterrupted {};
+
+} // namespace upec::sat

@@ -1,0 +1,136 @@
+// Minimal RV32I instruction encoders: enough of an assembler to write the
+// test programs and attack firmware in-line, with the encodings checked
+// against the ISS and the RTL core by the cross-validation tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace upec::sim::rv {
+
+using std::uint32_t;
+
+// --- encoding helpers -------------------------------------------------------------
+inline uint32_t r_type(uint32_t f7, uint32_t rs2, uint32_t rs1, uint32_t f3, uint32_t rd,
+                       uint32_t op) {
+  return (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | op;
+}
+inline uint32_t i_type(std::int32_t imm, uint32_t rs1, uint32_t f3, uint32_t rd, uint32_t op) {
+  return (static_cast<uint32_t>(imm & 0xfff) << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | op;
+}
+inline uint32_t s_type(std::int32_t imm, uint32_t rs2, uint32_t rs1, uint32_t f3, uint32_t op) {
+  const uint32_t u = static_cast<uint32_t>(imm) & 0xfff;
+  return ((u >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | ((u & 0x1f) << 7) | op;
+}
+inline uint32_t b_type(std::int32_t imm, uint32_t rs2, uint32_t rs1, uint32_t f3) {
+  const uint32_t u = static_cast<uint32_t>(imm);
+  return (((u >> 12) & 1) << 31) | (((u >> 5) & 0x3f) << 25) | (rs2 << 20) | (rs1 << 15) |
+         (f3 << 12) | (((u >> 1) & 0xf) << 8) | (((u >> 11) & 1) << 7) | 0b1100011;
+}
+inline uint32_t j_type(std::int32_t imm, uint32_t rd) {
+  const uint32_t u = static_cast<uint32_t>(imm);
+  return (((u >> 20) & 1) << 31) | (((u >> 1) & 0x3ff) << 21) | (((u >> 11) & 1) << 20) |
+         (((u >> 12) & 0xff) << 12) | (rd << 7) | 0b1101111;
+}
+
+// --- mnemonics ---------------------------------------------------------------------
+inline uint32_t addi(uint32_t rd, uint32_t rs1, std::int32_t imm) {
+  return i_type(imm, rs1, 0b000, rd, 0b0010011);
+}
+inline uint32_t slti(uint32_t rd, uint32_t rs1, std::int32_t imm) {
+  return i_type(imm, rs1, 0b010, rd, 0b0010011);
+}
+inline uint32_t sltiu(uint32_t rd, uint32_t rs1, std::int32_t imm) {
+  return i_type(imm, rs1, 0b011, rd, 0b0010011);
+}
+inline uint32_t xori(uint32_t rd, uint32_t rs1, std::int32_t imm) {
+  return i_type(imm, rs1, 0b100, rd, 0b0010011);
+}
+inline uint32_t ori(uint32_t rd, uint32_t rs1, std::int32_t imm) {
+  return i_type(imm, rs1, 0b110, rd, 0b0010011);
+}
+inline uint32_t andi(uint32_t rd, uint32_t rs1, std::int32_t imm) {
+  return i_type(imm, rs1, 0b111, rd, 0b0010011);
+}
+inline uint32_t slli(uint32_t rd, uint32_t rs1, uint32_t sh) {
+  return i_type(static_cast<std::int32_t>(sh & 31), rs1, 0b001, rd, 0b0010011);
+}
+inline uint32_t srli(uint32_t rd, uint32_t rs1, uint32_t sh) {
+  return i_type(static_cast<std::int32_t>(sh & 31), rs1, 0b101, rd, 0b0010011);
+}
+inline uint32_t srai(uint32_t rd, uint32_t rs1, uint32_t sh) {
+  return i_type(static_cast<std::int32_t>((sh & 31) | 0x400), rs1, 0b101, rd, 0b0010011);
+}
+inline uint32_t add(uint32_t rd, uint32_t rs1, uint32_t rs2) {
+  return r_type(0, rs2, rs1, 0b000, rd, 0b0110011);
+}
+inline uint32_t sub(uint32_t rd, uint32_t rs1, uint32_t rs2) {
+  return r_type(0b0100000, rs2, rs1, 0b000, rd, 0b0110011);
+}
+inline uint32_t sll(uint32_t rd, uint32_t rs1, uint32_t rs2) {
+  return r_type(0, rs2, rs1, 0b001, rd, 0b0110011);
+}
+inline uint32_t slt(uint32_t rd, uint32_t rs1, uint32_t rs2) {
+  return r_type(0, rs2, rs1, 0b010, rd, 0b0110011);
+}
+inline uint32_t sltu(uint32_t rd, uint32_t rs1, uint32_t rs2) {
+  return r_type(0, rs2, rs1, 0b011, rd, 0b0110011);
+}
+inline uint32_t xor_(uint32_t rd, uint32_t rs1, uint32_t rs2) {
+  return r_type(0, rs2, rs1, 0b100, rd, 0b0110011);
+}
+inline uint32_t srl(uint32_t rd, uint32_t rs1, uint32_t rs2) {
+  return r_type(0, rs2, rs1, 0b101, rd, 0b0110011);
+}
+inline uint32_t sra(uint32_t rd, uint32_t rs1, uint32_t rs2) {
+  return r_type(0b0100000, rs2, rs1, 0b101, rd, 0b0110011);
+}
+inline uint32_t or_(uint32_t rd, uint32_t rs1, uint32_t rs2) {
+  return r_type(0, rs2, rs1, 0b110, rd, 0b0110011);
+}
+inline uint32_t and_(uint32_t rd, uint32_t rs1, uint32_t rs2) {
+  return r_type(0, rs2, rs1, 0b111, rd, 0b0110011);
+}
+inline uint32_t lui(uint32_t rd, uint32_t imm20) { return (imm20 << 12) | (rd << 7) | 0b0110111; }
+inline uint32_t auipc(uint32_t rd, uint32_t imm20) {
+  return (imm20 << 12) | (rd << 7) | 0b0010111;
+}
+inline uint32_t lw(uint32_t rd, uint32_t rs1, std::int32_t off) {
+  return i_type(off, rs1, 0b010, rd, 0b0000011);
+}
+inline uint32_t sw(uint32_t rs2, uint32_t rs1, std::int32_t off) {
+  return s_type(off, rs2, rs1, 0b010, 0b0100011);
+}
+inline uint32_t beq(uint32_t rs1, uint32_t rs2, std::int32_t off) {
+  return b_type(off, rs2, rs1, 0b000);
+}
+inline uint32_t bne(uint32_t rs1, uint32_t rs2, std::int32_t off) {
+  return b_type(off, rs2, rs1, 0b001);
+}
+inline uint32_t blt(uint32_t rs1, uint32_t rs2, std::int32_t off) {
+  return b_type(off, rs2, rs1, 0b100);
+}
+inline uint32_t bge(uint32_t rs1, uint32_t rs2, std::int32_t off) {
+  return b_type(off, rs2, rs1, 0b101);
+}
+inline uint32_t bltu(uint32_t rs1, uint32_t rs2, std::int32_t off) {
+  return b_type(off, rs2, rs1, 0b110);
+}
+inline uint32_t bgeu(uint32_t rs1, uint32_t rs2, std::int32_t off) {
+  return b_type(off, rs2, rs1, 0b111);
+}
+inline uint32_t jal(uint32_t rd, std::int32_t off) { return j_type(off, rd); }
+inline uint32_t jalr(uint32_t rd, uint32_t rs1, std::int32_t off) {
+  return i_type(off, rs1, 0b000, rd, 0b1100111);
+}
+inline uint32_t nop() { return addi(0, 0, 0); }
+
+// Loads a full 32-bit constant into rd (lui + addi pair).
+inline std::vector<uint32_t> li32(uint32_t rd, uint32_t value) {
+  const uint32_t lo = value & 0xfff;
+  uint32_t hi = value >> 12;
+  if (lo & 0x800) hi += 1; // addi sign-extends: compensate
+  return {lui(rd, hi & 0xfffff), addi(rd, rd, static_cast<std::int32_t>(lo << 20) >> 20)};
+}
+
+} // namespace upec::sim::rv

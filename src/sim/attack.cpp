@@ -1,0 +1,111 @@
+#include "sim/attack.h"
+
+#include <stdexcept>
+
+namespace upec::sim {
+
+namespace {
+
+// Victim recording phase, shared by both scenarios: performs the secret
+// number of accesses to its working memory, spread across a fixed-length
+// window so that total window time does not itself encode the secret.
+void victim_phase(Simulator& sim, BusDriver& cpu, const soc::Soc& soc,
+                  std::uint32_t accesses, const AttackConfig& config) {
+  const soc::Region& ram = config.victim_uses_private_ram
+                               ? soc.map.region(soc::AddrMap::kPrivRam)
+                               : soc.map.region(soc::AddrMap::kPubRam);
+  // The victim's working set: the last words of its RAM (away from the
+  // attacker's primed region at the start of public RAM).
+  const std::uint32_t victim_word_addr = ram.end() - 4;
+
+  const std::uint64_t window_end = sim.cycle() + config.recording_cycles;
+  for (std::uint32_t i = 0; i < accesses; ++i) {
+    cpu.run_op(store(victim_word_addr, 0xC0FFEE00u + i));
+  }
+  while (sim.cycle() < window_end) {
+    sim.set_input("soc.cpu.req", 0);
+    sim.step();
+  }
+}
+
+} // namespace
+
+HwpeAttackResult run_hwpe_attack(const soc::Soc& soc, std::uint32_t victim_accesses,
+                                 const AttackConfig& config) {
+  Simulator sim(*soc.design);
+  BusDriver cpu(sim);
+  HwpeAttackResult result;
+
+  const soc::Region& pub = soc.map.region(soc::AddrMap::kPubRam);
+  const soc::Region& hwpe = soc.map.region(soc::AddrMap::kHwpe);
+  const std::uint32_t primed_base = pub.base;
+
+  // --- preparation (attacker task) ---------------------------------------------
+  // Prime the region with zeros, then program the HWPE to overwrite it with
+  // non-zero values, and start it.
+  for (std::uint32_t w = 0; w < config.primed_words; ++w) {
+    cpu.run_op(store(primed_base + 4 * w, 0));
+  }
+  cpu.run(TaskScript{
+      store(hwpe.base + 0x0, primed_base),          // DST
+      store(hwpe.base + 0x4, config.primed_words),  // LEN
+      store(hwpe.base + 0x8, 1),                    // CTRL.go
+  });
+
+  // --- context switch to the victim; recording phase ----------------------------
+  victim_phase(sim, cpu, soc, victim_accesses, config);
+
+  // --- context switch back; retrieval phase -------------------------------------
+  // One timed PROGRESS read (fixed latency: this is the measurement), then
+  // stop the engine so the primed-region scan is not a moving target.
+  result.progress_observed =
+      static_cast<std::uint32_t>(cpu.run_op(load(hwpe.base + 0x10))); // PROGRESS
+  cpu.run_op(store(hwpe.base + 0x8, 0));                              // CTRL.stop
+  cpu.run_op(sim::idle(4));
+  result.progress_at_stop = static_cast<std::uint32_t>(cpu.run_op(load(hwpe.base + 0x10)));
+  result.highwater_mark = config.primed_words;
+  for (std::uint32_t w = 0; w < config.primed_words; ++w) {
+    const std::uint32_t v = static_cast<std::uint32_t>(cpu.run_op(load(primed_base + 4 * w)));
+    if (v == 0) {
+      result.highwater_mark = w;
+      break;
+    }
+  }
+  return result;
+}
+
+TimerAttackResult run_timer_attack(const soc::Soc& soc, std::uint32_t victim_accesses,
+                                   const AttackConfig& config) {
+  Simulator sim(*soc.design);
+  BusDriver cpu(sim);
+  TimerAttackResult result;
+
+  const soc::Region& pub = soc.map.region(soc::AddrMap::kPubRam);
+  const soc::Region& dma = soc.map.region(soc::AddrMap::kDma);
+  const soc::Region& event = soc.map.region(soc::AddrMap::kEvent);
+  const soc::Region& timer = soc.map.region(soc::AddrMap::kTimer);
+
+  const std::uint32_t copy_words = config.dma_copy_words;
+
+  // --- preparation (attacker task) -----------------------------------------------
+  cpu.run(TaskScript{
+      store(timer.base + 0x4, 0),            // COUNT = 0
+      store(timer.base + 0xC, 0),            // PRESCALE = 0 (count every cycle)
+      store(event.base + 0x4, 1),            // TRIGSEL = 1: DMA done starts timer
+      store(dma.base + 0x0, pub.base),       // SRC
+      store(dma.base + 0x4, pub.base + 4 * copy_words), // DST
+      store(dma.base + 0x8, copy_words),     // LEN
+      store(dma.base + 0xC, 1),              // CTRL.go
+  });
+
+  // --- recording phase -------------------------------------------------------------
+  victim_phase(sim, cpu, soc, victim_accesses, config);
+
+  // --- retrieval phase ---------------------------------------------------------------
+  result.timer_count = static_cast<std::uint32_t>(cpu.run_op(load(timer.base + 0x4)));
+  result.dma_done_event =
+      (cpu.run_op(load(event.base + 0x0)) & 1) != 0; // PENDING.bit0 = dma done
+  return result;
+}
+
+} // namespace upec::sim

@@ -1,0 +1,56 @@
+// End-to-end three-phase attack scenarios (preparation / recording /
+// retrieval, Sec 2.2) executed on the generated SoC RTL.
+//
+// Two scenarios are provided:
+//
+//  * run_hwpe_attack — the paper's newly discovered, timer-free BUSted
+//    variant (Sec 4.1): the attacker primes a public-RAM region with zeros,
+//    programs the HWPE to progressively overwrite it with non-zero values,
+//    and context-switches to the victim. Victim accesses to the same memory
+//    device steal arbitration slots from the HWPE; after switching back, the
+//    attacker reads the overwrite progress (PROGRESS register and the primed
+//    region's high-water mark) — each victim access shows up as lag.
+//
+//  * run_timer_attack — the classic variant (Fig. 1): a DMA transfer whose
+//    completion (delayed by victim contention) starts the timer through the
+//    event unit; the attacker later reads COUNT. More victim accesses → later
+//    start → smaller count.
+//
+// Both functions take the number of *secret* victim accesses and return the
+// attacker's observation, so sweeping the secret reproduces the leakage
+// curves (bench_busted_variant, bench_fig1_attack_anatomy).
+#pragma once
+
+#include "sim/task.h"
+#include "soc/pulpissimo.h"
+
+namespace upec::sim {
+
+struct AttackConfig {
+  std::uint32_t primed_words = 28;     // length of the HWPE-overwritten region
+  std::uint32_t dma_copy_words = 8;    // words copied in the timer scenario
+  std::uint32_t recording_cycles = 48; // fixed-length recording window
+  // Victim accesses target the private RAM instead of the public RAM —
+  // modeling the Sec 4.2 countermeasure (security-critical region mapped to
+  // the access-restricted private memory device).
+  bool victim_uses_private_ram = false;
+};
+
+struct HwpeAttackResult {
+  std::uint32_t progress_observed = 0; // HWPE PROGRESS, first retrieval read
+  std::uint32_t progress_at_stop = 0;  // PROGRESS after stopping the engine
+  std::uint32_t highwater_mark = 0;    // first still-zero word of primed region
+};
+
+struct TimerAttackResult {
+  std::uint32_t timer_count = 0;   // COUNT read in retrieval
+  bool dma_done_event = false;     // event-unit pending bit observed
+};
+
+HwpeAttackResult run_hwpe_attack(const soc::Soc& soc, std::uint32_t victim_accesses,
+                                 const AttackConfig& config = {});
+
+TimerAttackResult run_timer_attack(const soc::Soc& soc, std::uint32_t victim_accesses,
+                                   const AttackConfig& config = {});
+
+} // namespace upec::sim

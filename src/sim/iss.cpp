@@ -1,0 +1,122 @@
+#include "sim/iss.h"
+
+namespace upec::sim {
+
+namespace {
+std::int32_t sext(std::uint32_t v, unsigned bits) {
+  const std::uint32_t m = 1u << (bits - 1);
+  return static_cast<std::int32_t>((v ^ m) - m);
+}
+} // namespace
+
+bool Iss::step() {
+  const std::uint32_t word_index = (pc_ >> 2);
+  const std::uint32_t instr = word_index < imem_.size() ? imem_[word_index] : 0;
+  const std::uint32_t opcode = instr & 0x7f;
+  const std::uint32_t rd = (instr >> 7) & 31;
+  const std::uint32_t f3 = (instr >> 12) & 7;
+  const std::uint32_t rs1 = (instr >> 15) & 31;
+  const std::uint32_t rs2 = (instr >> 20) & 31;
+  const bool f7b5 = (instr >> 30) & 1;
+  const std::uint32_t a = regs_[rs1];
+  const std::uint32_t b = regs_[rs2];
+
+  const std::int32_t imm_i = sext(instr >> 20, 12);
+  const std::int32_t imm_s = sext(((instr >> 25) << 5) | ((instr >> 7) & 31), 12);
+  const std::int32_t imm_b = sext((((instr >> 31) & 1) << 12) | (((instr >> 7) & 1) << 11) |
+                                      (((instr >> 25) & 0x3f) << 5) | (((instr >> 8) & 0xf) << 1),
+                                  13);
+  const std::uint32_t imm_u = instr & 0xfffff000u;
+  const std::int32_t imm_j = sext((((instr >> 31) & 1) << 20) | (((instr >> 12) & 0xff) << 12) |
+                                      (((instr >> 20) & 1) << 11) | (((instr >> 21) & 0x3ff) << 1),
+                                  21);
+
+  std::uint32_t next_pc = pc_ + 4;
+  auto wb = [&](std::uint32_t v) {
+    if (rd != 0) regs_[rd] = v;
+  };
+
+  switch (opcode) {
+    case 0b0110111: wb(imm_u); break;                      // LUI
+    case 0b0010111: wb(pc_ + imm_u); break;                // AUIPC
+    case 0b1101111:                                        // JAL
+      wb(pc_ + 4);
+      next_pc = pc_ + static_cast<std::uint32_t>(imm_j);
+      break;
+    case 0b1100111:                                        // JALR
+      wb(pc_ + 4);
+      next_pc = (a + static_cast<std::uint32_t>(imm_i)) & ~1u;
+      break;
+    case 0b1100011: {                                      // branches
+      bool taken = false;
+      switch (f3) {
+        case 0b000: taken = a == b; break;
+        case 0b001: taken = a != b; break;
+        case 0b100: taken = static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b); break;
+        case 0b101: taken = static_cast<std::int32_t>(a) >= static_cast<std::int32_t>(b); break;
+        case 0b110: taken = a < b; break;
+        case 0b111: taken = a >= b; break;
+        default: return false;
+      }
+      if (taken) next_pc = pc_ + static_cast<std::uint32_t>(imm_b);
+      break;
+    }
+    case 0b0000011:                                        // LW
+      if (f3 != 0b010) return false;
+      wb(load(a + static_cast<std::uint32_t>(imm_i)));
+      break;
+    case 0b0100011:                                        // SW
+      if (f3 != 0b010) return false;
+      store(a + static_cast<std::uint32_t>(imm_s), b);
+      break;
+    case 0b0010011: {                                      // OP-IMM
+      const std::uint32_t i = static_cast<std::uint32_t>(imm_i);
+      const unsigned sh = instr >> 20 & 31;
+      switch (f3) {
+        case 0b000: wb(a + i); break;
+        case 0b010: wb(static_cast<std::int32_t>(a) < static_cast<std::int32_t>(i)); break;
+        case 0b011: wb(a < i); break;
+        case 0b100: wb(a ^ i); break;
+        case 0b110: wb(a | i); break;
+        case 0b111: wb(a & i); break;
+        case 0b001: wb(a << sh); break;
+        case 0b101:
+          wb(f7b5 ? static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >> sh) : a >> sh);
+          break;
+      }
+      break;
+    }
+    case 0b0110011: {                                      // OP
+      const unsigned sh = b & 31;
+      switch (f3) {
+        case 0b000: wb(f7b5 ? a - b : a + b); break;
+        case 0b001: wb(a << sh); break;
+        case 0b010: wb(static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b)); break;
+        case 0b011: wb(a < b); break;
+        case 0b100: wb(a ^ b); break;
+        case 0b101:
+          wb(f7b5 ? static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >> sh) : a >> sh);
+          break;
+        case 0b110: wb(a | b); break;
+        case 0b111: wb(a & b); break;
+      }
+      break;
+    }
+    default: return false;
+  }
+  pc_ = next_pc;
+  return true;
+}
+
+unsigned Iss::run(unsigned max_steps) {
+  unsigned executed = 0;
+  while (executed < max_steps) {
+    const std::uint32_t before = pc_;
+    if (!step()) break;
+    ++executed;
+    if (pc_ == before) break; // jump-to-self: program finished
+  }
+  return executed;
+}
+
+} // namespace upec::sim

@@ -1,0 +1,47 @@
+// Reference RV32I instruction-set simulator.
+//
+// Purely architectural (no timing): executes the same ISA subset as the RTL
+// core in soc/cpu.h against a flat memory view. The cross-validation tests
+// run random and directed programs on both and compare architectural state
+// (register file + memory), pinning the RTL core's semantics to an
+// independent implementation.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace upec::sim {
+
+class Iss {
+public:
+  explicit Iss(std::vector<std::uint32_t> imem) : imem_(std::move(imem)) {}
+
+  std::uint32_t reg(unsigned i) const { return regs_[i]; }
+  void set_reg(unsigned i, std::uint32_t v) {
+    if (i != 0) regs_[i] = v;
+  }
+  std::uint32_t pc() const { return pc_; }
+
+  // Word-granular data memory (byte addresses, word aligned).
+  std::uint32_t load(std::uint32_t addr) const {
+    auto it = dmem_.find(addr & ~3u);
+    return it == dmem_.end() ? 0 : it->second;
+  }
+  void store(std::uint32_t addr, std::uint32_t v) { dmem_[addr & ~3u] = v; }
+  const std::unordered_map<std::uint32_t, std::uint32_t>& dmem() const { return dmem_; }
+
+  // Executes one instruction; returns false on an undecodable opcode.
+  bool step();
+  // Runs up to `max_steps` instructions; stops early on a jump-to-self
+  // (the idiomatic end-of-program spin). Returns instructions executed.
+  unsigned run(unsigned max_steps);
+
+private:
+  std::vector<std::uint32_t> imem_;
+  std::unordered_map<std::uint32_t, std::uint32_t> dmem_;
+  std::uint32_t regs_[32] = {0};
+  std::uint32_t pc_ = 0;
+};
+
+} // namespace upec::sim

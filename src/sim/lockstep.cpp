@@ -1,0 +1,47 @@
+#include "sim/lockstep.h"
+
+#include <sstream>
+
+namespace upec::sim {
+
+Lockstep::Lockstep(const rtlir::Design& design, const rtlir::StateVarTable& svt)
+    : svt_(svt), a_(design), b_(design) {}
+
+void Lockstep::set_input_both(const std::string& name, std::uint64_t value) {
+  a_.set_input(name, value);
+  b_.set_input(name, value);
+}
+
+std::vector<rtlir::StateVarId> Lockstep::current_divergence() {
+  std::vector<rtlir::StateVarId> out;
+  for (rtlir::StateVarId sv = 0; sv < svt_.size(); ++sv) {
+    if (a_.state_value(svt_, sv) != b_.state_value(svt_, sv)) out.push_back(sv);
+  }
+  return out;
+}
+
+void Lockstep::step() {
+  a_.step();
+  b_.step();
+  DivergenceFrame frame;
+  frame.cycle = a_.cycle();
+  frame.differing = current_divergence();
+  history_.push_back(std::move(frame));
+}
+
+std::string Lockstep::describe_divergence(std::size_t max_items) {
+  std::ostringstream os;
+  for (const DivergenceFrame& f : history_) {
+    if (f.differing.empty()) continue;
+    os << "cycle " << f.cycle << ": " << f.differing.size() << " differing [";
+    for (std::size_t i = 0; i < f.differing.size() && i < max_items; ++i) {
+      if (i) os << ", ";
+      os << svt_.name(f.differing[i]);
+    }
+    if (f.differing.size() > max_items) os << ", ...";
+    os << "]\n";
+  }
+  return os.str();
+}
+
+} // namespace upec::sim

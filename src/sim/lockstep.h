@@ -1,0 +1,50 @@
+// Lockstep two-instance simulation: the concrete analogue of the UPEC miter.
+//
+// Two copies of the design run with identical inputs except for a chosen set
+// of overrides (the victim's protected accesses); after every cycle the
+// divergence set — state variables whose values differ between the copies —
+// is recorded. This gives the cycle-by-cycle propagation timeline that the
+// formal counterexamples summarize, and the integration tests assert that
+// both views agree (first divergence in transient interconnect state, then in
+// persistent IP state).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace upec::sim {
+
+struct DivergenceFrame {
+  std::uint64_t cycle = 0;
+  std::vector<rtlir::StateVarId> differing;
+};
+
+class Lockstep {
+public:
+  Lockstep(const rtlir::Design& design, const rtlir::StateVarTable& svt);
+
+  Simulator& inst_a() { return a_; }
+  Simulator& inst_b() { return b_; }
+
+  // Applies the value to both instances.
+  void set_input_both(const std::string& name, std::uint64_t value);
+
+  // Steps both instances and records the divergence set.
+  void step();
+
+  std::vector<rtlir::StateVarId> current_divergence();
+  const std::vector<DivergenceFrame>& history() const { return history_; }
+
+  std::string describe_divergence(std::size_t max_items = 16);
+
+private:
+  const rtlir::StateVarTable& svt_;
+  Simulator a_;
+  Simulator b_;
+  std::vector<DivergenceFrame> history_;
+};
+
+} // namespace upec::sim

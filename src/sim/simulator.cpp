@@ -1,0 +1,136 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace upec::sim {
+
+using rtlir::kNullNet;
+using rtlir::NetId;
+using rtlir::NetKind;
+
+Simulator::Simulator(const rtlir::Design& design) : design_(design) {
+  reg_state_.resize(design.registers().size(), 0);
+  mem_state_.resize(design.memories().size());
+  for (std::size_t m = 0; m < design.memories().size(); ++m) {
+    mem_state_[m].resize(design.memories()[m].words, 0);
+  }
+  input_val_.resize(design.inputs().size(), 0);
+  for (std::uint32_t i = 0; i < design.inputs().size(); ++i) {
+    input_by_name_[design.net(design.inputs()[i].net).name] = i;
+  }
+  net_val_.resize(design.num_nets(), 0);
+  net_stamp_.resize(design.num_nets(), 0);
+  reset();
+}
+
+void Simulator::reset() {
+  for (std::size_t r = 0; r < design_.registers().size(); ++r) {
+    reg_state_[r] = design_.registers()[r].reset_value.value();
+  }
+  for (std::size_t m = 0; m < design_.memories().size(); ++m) {
+    for (std::size_t w = 0; w < mem_state_[m].size(); ++w) {
+      mem_state_[m][w] = design_.memories()[m].init[w].value();
+    }
+  }
+  std::fill(input_val_.begin(), input_val_.end(), 0);
+  ++stamp_;
+  cycle_ = 0;
+}
+
+void Simulator::set_input(const std::string& name, std::uint64_t value) {
+  auto it = input_by_name_.find(name);
+  if (it == input_by_name_.end()) throw std::out_of_range("no such input: " + name);
+  set_input(it->second, value);
+}
+
+void Simulator::set_input(std::uint32_t input_index, std::uint64_t value) {
+  const unsigned w = design_.width(design_.inputs()[input_index].net);
+  input_val_[input_index] = value & BitVec::mask(w);
+  ++stamp_; // inputs changed: invalidate this cycle's memoized evaluations
+}
+
+std::uint64_t Simulator::eval(NetId net) {
+  assert(net != kNullNet);
+  if (net_stamp_[net] == stamp_) return net_val_[net];
+  const rtlir::Net& info = design_.net(net);
+  std::uint64_t v = 0;
+  switch (info.kind) {
+    case NetKind::Const: v = design_.consts()[info.payload].value(); break;
+    case NetKind::Input: v = input_val_[info.payload]; break;
+    case NetKind::RegQ: v = reg_state_[info.payload]; break;
+    case NetKind::MemRead: {
+      const rtlir::MemReadPort& rp = design_.mem_reads()[info.payload];
+      const std::uint64_t addr = eval(rp.addr);
+      v = addr < mem_state_[rp.mem].size() ? mem_state_[rp.mem][addr] : 0;
+      break;
+    }
+    case NetKind::Cell: {
+      const rtlir::CellNode& c = design_.cells()[info.payload];
+      auto operand = [&](NetId x) {
+        return x == kNullNet ? BitVec(1, 0) : BitVec(design_.width(x), eval(x));
+      };
+      v = rtlir::eval_cell(c, operand(c.a), operand(c.b), operand(c.c), info.width).value();
+      break;
+    }
+  }
+  net_val_[net] = v;
+  net_stamp_[net] = stamp_;
+  return v;
+}
+
+std::uint64_t Simulator::value(NetId net) { return eval(net); }
+
+std::uint64_t Simulator::output(const std::string& probe) {
+  const NetId net = design_.find_output(probe);
+  if (net == kNullNet) throw std::out_of_range("no such output: " + probe);
+  return eval(net);
+}
+
+void Simulator::step() {
+  // Evaluate all next-state values against the current state, then commit.
+  std::vector<std::uint64_t> next_regs(reg_state_.size());
+  for (std::size_t r = 0; r < design_.registers().size(); ++r) {
+    const rtlir::Register& reg = design_.registers()[r];
+    const bool en = reg.en == kNullNet || (eval(reg.en) & 1);
+    next_regs[r] = en ? eval(reg.d) : reg_state_[r];
+  }
+  struct PendingWrite {
+    std::uint32_t mem, word;
+    std::uint64_t data;
+  };
+  std::vector<PendingWrite> writes;
+  for (std::uint32_t m = 0; m < design_.memories().size(); ++m) {
+    for (const rtlir::MemWritePort& wp : design_.memories()[m].writes) {
+      const bool en = wp.en == kNullNet || (eval(wp.en) & 1);
+      if (!en) continue;
+      const std::uint64_t addr = eval(wp.addr);
+      if (addr < mem_state_[m].size()) {
+        writes.push_back({m, static_cast<std::uint32_t>(addr), eval(wp.data)});
+      }
+    }
+  }
+  reg_state_ = std::move(next_regs);
+  for (const PendingWrite& w : writes) mem_state_[w.mem][w.word] = w.data;
+  ++stamp_;
+  ++cycle_;
+}
+
+void Simulator::set_reg(std::uint32_t reg, std::uint64_t v) {
+  reg_state_[reg] = v & BitVec::mask(design_.width(design_.registers()[reg].q));
+  ++stamp_;
+}
+
+void Simulator::set_mem_word(std::uint32_t mem, std::uint32_t word, std::uint64_t v) {
+  mem_state_[mem][word] = v & BitVec::mask(design_.memories()[mem].width);
+  ++stamp_;
+}
+
+std::uint64_t Simulator::state_value(const rtlir::StateVarTable& svt,
+                                     rtlir::StateVarId sv) const {
+  const rtlir::StateVar& v = svt.var(sv);
+  if (v.kind == rtlir::StateVar::Kind::Reg) return reg_state_[v.index];
+  return mem_state_[v.index][v.word];
+}
+
+} // namespace upec::sim

@@ -1,0 +1,68 @@
+// Cycle-accurate interpreter for rtlir designs.
+//
+// Used three ways in this repository:
+//   - unit/property tests cross-check every IP and the whole SoC against the
+//     CNF encoder (same netlist, same semantics — rtlir::eval_cell is shared),
+//   - the attack harness executes the paper's three-phase attacks end-to-end
+//     on the very RTL the UPEC-SSC proofs run on,
+//   - counterexample replay: waveforms from the formal engine can be checked
+//     by driving the same inputs here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rtlir/analyze.h"
+#include "rtlir/fold.h"
+
+namespace upec::sim {
+
+class Simulator {
+public:
+  explicit Simulator(const rtlir::Design& design);
+
+  // Registers to reset values, memories to init contents, inputs to zero.
+  void reset();
+
+  void set_input(const std::string& name, std::uint64_t value);
+  void set_input(std::uint32_t input_index, std::uint64_t value);
+
+  // Evaluate a net in the current cycle (before the next step()).
+  std::uint64_t value(rtlir::NetId net);
+  std::uint64_t output(const std::string& probe_name);
+
+  // Advance one clock edge.
+  void step();
+
+  std::uint64_t cycle() const { return cycle_; }
+
+  // Direct state access (tests, attack harness bookkeeping).
+  std::uint64_t reg_value(std::uint32_t reg) const { return reg_state_[reg]; }
+  void set_reg(std::uint32_t reg, std::uint64_t v);
+  std::uint64_t mem_word(std::uint32_t mem, std::uint32_t word) const {
+    return mem_state_[mem][word];
+  }
+  void set_mem_word(std::uint32_t mem, std::uint32_t word, std::uint64_t v);
+  std::uint64_t state_value(const rtlir::StateVarTable& svt, rtlir::StateVarId sv) const;
+
+  const rtlir::Design& design() const { return design_; }
+
+private:
+  std::uint64_t eval(rtlir::NetId net);
+
+  const rtlir::Design& design_;
+  std::vector<std::uint64_t> reg_state_;
+  std::vector<std::vector<std::uint64_t>> mem_state_;
+  std::vector<std::uint64_t> input_val_;
+  std::unordered_map<std::string, std::uint32_t> input_by_name_;
+
+  // Per-cycle memoization.
+  std::vector<std::uint64_t> net_val_;
+  std::vector<std::uint64_t> net_stamp_;
+  std::uint64_t stamp_ = 1;
+  std::uint64_t cycle_ = 0;
+};
+
+} // namespace upec::sim

@@ -1,0 +1,65 @@
+#include "sim/task.h"
+
+#include <stdexcept>
+
+#include "soc/pulpissimo.h"
+
+namespace upec::sim {
+
+namespace {
+constexpr const char* kReq = "soc.cpu.req";
+constexpr const char* kAddr = "soc.cpu.addr";
+constexpr const char* kWe = "soc.cpu.we";
+constexpr const char* kWdata = "soc.cpu.wdata";
+} // namespace
+
+void BusDriver::drain(unsigned cycles) {
+  sim_.set_input(kReq, 0);
+  for (unsigned i = 0; i < cycles; ++i) sim_.step();
+}
+
+std::uint32_t BusDriver::run_op(const TaskOp& op, std::uint64_t max_cycles) {
+  if (op.kind == TaskOp::Kind::Idle) {
+    sim_.set_input(kReq, 0);
+    for (std::uint32_t i = 0; i < op.cycles; ++i) sim_.step();
+    return 0;
+  }
+
+  const bool is_store = op.kind == TaskOp::Kind::Store;
+  sim_.set_input(kReq, 1);
+  sim_.set_input(kAddr, op.addr);
+  sim_.set_input(kWe, is_store ? 1 : 0);
+  sim_.set_input(kWdata, op.data);
+
+  // Hold the request until granted (contention shows up here as extra cycles).
+  std::uint64_t waited = 0;
+  while (!(sim_.output(soc::probe::kCpuGnt) & 1)) {
+    sim_.step();
+    if (++waited > max_cycles) throw std::runtime_error("bus grant timeout");
+  }
+  sim_.step(); // the granted cycle
+  sim_.set_input(kReq, 0);
+
+  if (is_store) return 0; // writes are posted
+
+  // Wait for read data.
+  waited = 0;
+  while (!(sim_.output(soc::probe::kCpuRvalid) & 1)) {
+    sim_.step();
+    if (++waited > max_cycles) throw std::runtime_error("bus rvalid timeout");
+  }
+  const auto data = static_cast<std::uint32_t>(sim_.output(soc::probe::kCpuRdata));
+  sim_.step();
+  return data;
+}
+
+std::vector<std::uint32_t> BusDriver::run(const TaskScript& script, std::uint64_t max_cycles) {
+  std::vector<std::uint32_t> loads;
+  for (const TaskOp& op : script) {
+    const std::uint32_t v = run_op(op, max_cycles);
+    if (op.kind == TaskOp::Kind::Load) loads.push_back(v);
+  }
+  return loads;
+}
+
+} // namespace upec::sim

@@ -1,0 +1,57 @@
+// Scripted bus-master tasks: software modeled at the CPU/system interface.
+//
+// The formal side of this repository abstracts the CPU behind its bus port
+// (Obs. 1 — the proofs cover *all* software). The simulation side drives that
+// same port with concrete task scripts: sequences of loads, stores and idle
+// cycles, with OBI handshake handling (hold req until gnt, collect rdata on
+// rvalid). Context switches between attacker and victim tasks are modeled by
+// switching which script drives the port — matching the time-multiplexed
+// threat model of Sec 2.1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace upec::sim {
+
+struct TaskOp {
+  enum class Kind : std::uint8_t { Store, Load, Idle };
+  Kind kind = Kind::Idle;
+  std::uint32_t addr = 0;
+  std::uint32_t data = 0;   // Store payload
+  std::uint32_t cycles = 1; // Idle duration
+};
+
+// Convenience constructors.
+inline TaskOp store(std::uint32_t addr, std::uint32_t data) {
+  return TaskOp{TaskOp::Kind::Store, addr, data, 1};
+}
+inline TaskOp load(std::uint32_t addr) { return TaskOp{TaskOp::Kind::Load, addr, 0, 1}; }
+inline TaskOp idle(std::uint32_t cycles) { return TaskOp{TaskOp::Kind::Idle, 0, 0, cycles}; }
+
+using TaskScript = std::vector<TaskOp>;
+
+// Drives the "soc.cpu.*" inputs of a Simulator through one task script.
+// run() executes the whole script and returns the values loaded by Load ops,
+// in script order. A cycle budget guards against lost grants.
+class BusDriver {
+public:
+  explicit BusDriver(Simulator& sim) : sim_(sim) {}
+
+  // Executes the script; returns collected load results.
+  std::vector<std::uint32_t> run(const TaskScript& script, std::uint64_t max_cycles = 100000);
+
+  // Runs a single op (load returns the value, store/idle return 0).
+  std::uint32_t run_op(const TaskOp& op, std::uint64_t max_cycles = 100000);
+
+  // Releases the bus (req = 0) and advances the given number of cycles.
+  void drain(unsigned cycles);
+
+private:
+  Simulator& sim_;
+};
+
+} // namespace upec::sim

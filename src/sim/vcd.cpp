@@ -1,0 +1,97 @@
+#include "sim/vcd.h"
+
+#include <cassert>
+
+namespace upec::sim {
+
+VcdWriter::VcdWriter(std::ostream& os, Simulator& sim) : os_(os), sim_(sim) {}
+
+std::string VcdWriter::make_id(std::size_t index) {
+  // Printable identifier codes: base-94 over '!'..'~'.
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+void VcdWriter::add_output(const std::string& probe_name) {
+  assert(!started_);
+  const rtlir::NetId net = sim_.design().find_output(probe_name);
+  if (net == rtlir::kNullNet) return;
+  Channel c;
+  c.name = probe_name;
+  c.width = sim_.design().width(net);
+  c.id = make_id(channels_.size());
+  c.is_output = true;
+  c.net = net;
+  channels_.push_back(std::move(c));
+}
+
+void VcdWriter::add_state(const rtlir::StateVarTable& svt, rtlir::StateVarId sv) {
+  assert(!started_);
+  Channel c;
+  c.name = svt.name(sv);
+  c.width = svt.width(sv);
+  c.id = make_id(channels_.size());
+  c.is_output = false;
+  c.svt = &svt;
+  c.sv = sv;
+  channels_.push_back(std::move(c));
+}
+
+std::uint64_t VcdWriter::read(Channel& c) {
+  return c.is_output ? sim_.value(c.net) : sim_.state_value(*c.svt, c.sv);
+}
+
+void VcdWriter::emit_value(const Channel& c, std::uint64_t v) {
+  if (c.width == 1) {
+    os_ << (v & 1) << c.id << '\n';
+    return;
+  }
+  os_ << 'b';
+  bool leading = true;
+  for (int i = static_cast<int>(c.width) - 1; i >= 0; --i) {
+    const bool bit = (v >> i) & 1;
+    if (bit) leading = false;
+    if (!leading || i == 0) os_ << (bit ? '1' : '0');
+  }
+  os_ << ' ' << c.id << '\n';
+}
+
+void VcdWriter::start() {
+  assert(!started_);
+  started_ = true;
+  os_ << "$timescale 1ns $end\n$scope module soc $end\n";
+  for (const Channel& c : channels_) {
+    // VCD identifiers must not contain whitespace; hierarchical dots are fine.
+    os_ << "$var wire " << c.width << ' ' << c.id << ' ' << c.name << " $end\n";
+  }
+  os_ << "$upscope $end\n$enddefinitions $end\n$dumpvars\n";
+  for (Channel& c : channels_) {
+    const std::uint64_t v = read(c);
+    emit_value(c, v);
+    c.last = v;
+    c.has_last = true;
+  }
+  os_ << "$end\n";
+}
+
+void VcdWriter::sample() {
+  assert(started_);
+  ++time_;
+  bool stamped = false;
+  for (Channel& c : channels_) {
+    const std::uint64_t v = read(c);
+    if (c.has_last && v == c.last) continue;
+    if (!stamped) {
+      os_ << '#' << time_ << '\n';
+      stamped = true;
+    }
+    emit_value(c, v);
+    c.last = v;
+  }
+}
+
+} // namespace upec::sim

@@ -1,0 +1,54 @@
+// VCD (Value Change Dump) writer: records selected design outputs and state
+// variables from a Simulator run into the standard waveform format consumed
+// by GTKWave & co. Used by the examples to export attack traces and by tests
+// to validate the writer itself.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace upec::sim {
+
+class VcdWriter {
+public:
+  // `os` must outlive the writer. Timescale is one clock cycle = 1 ns.
+  VcdWriter(std::ostream& os, Simulator& sim);
+
+  // Register signals to trace (before the first sample).
+  void add_output(const std::string& probe_name);
+  void add_state(const rtlir::StateVarTable& svt, rtlir::StateVarId sv);
+
+  // Emits the header and the initial values; then call sample() once per
+  // simulated cycle (after Simulator::step()).
+  void start();
+  void sample();
+
+private:
+  struct Channel {
+    std::string name;
+    unsigned width = 1;
+    std::string id; // VCD identifier code
+    bool is_output = false;
+    rtlir::NetId net = rtlir::kNullNet;
+    const rtlir::StateVarTable* svt = nullptr;
+    rtlir::StateVarId sv = 0;
+    std::uint64_t last = 0;
+    bool has_last = false;
+  };
+
+  std::uint64_t read(Channel& c);
+  void emit_value(const Channel& c, std::uint64_t v);
+  static std::string make_id(std::size_t index);
+
+  std::ostream& os_;
+  Simulator& sim_;
+  std::vector<Channel> channels_;
+  std::uint64_t time_ = 0;
+  bool started_ = false;
+};
+
+} // namespace upec::sim

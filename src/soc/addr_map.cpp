@@ -1,0 +1,42 @@
+#include "soc/addr_map.h"
+
+#include <stdexcept>
+
+namespace upec::soc {
+
+AddrMap AddrMap::pulpissimo(std::uint32_t pub_ram_words, std::uint32_t priv_ram_words) {
+  AddrMap map;
+  // Bases loosely follow the Pulpissimo memory map: L2 memory in the
+  // 0x1C00_0000 range, a private (Quentin "secure") bank at 0x1000_0000, and
+  // APB peripherals in the 0x1A10_0000 block. The private RAM is the only
+  // region an attacker task cannot touch (Sec 4.2's countermeasure relies on
+  // exactly this separation).
+  map.regions_ = {
+      {kPrivRam, 0x10000000u, priv_ram_words * 4, RegionKind::PrivateRam, false},
+      {kPubRam, 0x1C000000u, pub_ram_words * 4, RegionKind::PublicRam, true},
+      {kGpio, 0x1A101000u, 64, RegionKind::Peripheral, true},
+      {kUart, 0x1A102000u, 64, RegionKind::Peripheral, true},
+      {kDma, 0x1A103000u, 64, RegionKind::Peripheral, true},
+      {kHwpe, 0x1A104000u, 64, RegionKind::Peripheral, true},
+      {kEvent, 0x1A105000u, 64, RegionKind::Peripheral, true},
+      {kSocCtrl, 0x1A106000u, 64, RegionKind::Peripheral, true},
+      {kTimer, 0x1A10B000u, 64, RegionKind::Peripheral, true},
+  };
+  return map;
+}
+
+const Region& AddrMap::region(const std::string& name) const {
+  for (const Region& r : regions_) {
+    if (r.name == name) return r;
+  }
+  throw std::out_of_range("unknown region: " + name);
+}
+
+const Region* AddrMap::find(std::uint32_t addr) const {
+  for (const Region& r : regions_) {
+    if (r.contains(addr)) return &r;
+  }
+  return nullptr;
+}
+
+} // namespace upec::soc

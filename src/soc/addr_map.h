@@ -1,0 +1,56 @@
+// SoC address map: the single source of truth shared by the RTL generator
+// (address decoding), the UPEC-SSC layer (symbolic victim ranges, attacker
+// accessibility of memory words → S_pers), and the simulation tasks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace upec::soc {
+
+enum class RegionKind : std::uint8_t {
+  PrivateRam, // behind the private crossbar; reachable by CPU (and DMA)
+  PublicRam,  // behind the public crossbar; reachable by every master
+  Peripheral, // memory-mapped IP registers (public crossbar)
+};
+
+struct Region {
+  std::string name;
+  std::uint32_t base = 0;
+  std::uint32_t size = 0; // bytes
+  RegionKind kind = RegionKind::Peripheral;
+  // Whether an attacker task can read state in this region after a context
+  // switch. Drives the S_pers classification (Def. 2 of the paper).
+  bool attacker_accessible = true;
+
+  bool contains(std::uint32_t addr) const { return addr >= base && addr - base < size; }
+  std::uint32_t end() const { return base + size; }
+};
+
+class AddrMap {
+public:
+  // Default Pulpissimo-style map. RAM sizes are in 32-bit words.
+  static AddrMap pulpissimo(std::uint32_t pub_ram_words, std::uint32_t priv_ram_words);
+
+  const std::vector<Region>& regions() const { return regions_; }
+  const Region& region(const std::string& name) const;
+  const Region* find(std::uint32_t addr) const;
+
+  // Canonical region names used throughout the SoC generator.
+  static constexpr const char* kPrivRam = "priv_ram";
+  static constexpr const char* kPubRam = "pub_ram";
+  static constexpr const char* kTimer = "timer";
+  static constexpr const char* kGpio = "gpio";
+  static constexpr const char* kUart = "uart";
+  static constexpr const char* kDma = "dma";
+  static constexpr const char* kHwpe = "hwpe";
+  static constexpr const char* kEvent = "event";
+  static constexpr const char* kSocCtrl = "soc_ctrl";
+
+private:
+  std::vector<Region> regions_;
+};
+
+} // namespace upec::soc

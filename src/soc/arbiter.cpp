@@ -1,0 +1,85 @@
+#include "soc/arbiter.h"
+
+#include <cassert>
+
+namespace upec::soc {
+
+ArbiterResult priority_arbiter(Builder& b, const std::vector<NetId>& requests) {
+  assert(!requests.empty());
+  ArbiterResult out;
+  unsigned sel_bits = 1;
+  while ((1u << sel_bits) < requests.size()) ++sel_bits;
+  out.sel_bits = sel_bits;
+
+  NetId taken = b.zero(1);
+  NetId winner = b.zero(sel_bits);
+  for (std::size_t m = 0; m < requests.size(); ++m) {
+    const NetId g = b.and_(requests[m], b.not_(taken));
+    out.grant.push_back(g);
+    winner = b.mux(g, b.constant(sel_bits, m), winner);
+    taken = b.or_(taken, requests[m]);
+  }
+  out.any = taken;
+  out.winner = winner;
+  return out;
+}
+
+ArbiterResult round_robin_arbiter(Builder& b, const std::string& name,
+                                  const std::vector<NetId>& requests) {
+  assert(!requests.empty());
+  Builder::Scope scope(b, name);
+  const std::size_t n = requests.size();
+  ArbiterResult out;
+  unsigned sel_bits = 1;
+  while ((1u << sel_bits) < n) ++sel_bits;
+  out.sel_bits = sel_bits;
+
+  // Rotating priority pointer. Note: this register persists across context
+  // switches and is influenced by every master's traffic — it is the
+  // arbitration state the ablation studies flag as an extra leak surface.
+  const rtlir::RegHandle ptr = b.reg("rr_ptr_q", sel_bits);
+
+  // Unrolled two-pass priority scan: first the requesters at/after the
+  // pointer, then the wrap-around ones. First hit wins.
+  NetId taken = b.zero(1);
+  NetId winner = b.zero(sel_bits);
+  std::vector<NetId> grant(n, kNullNet);
+  for (std::size_t m = 0; m < n; ++m) grant[m] = b.zero(1);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t m = 0; m < n; ++m) {
+      const NetId at_or_after = b.uge(b.constant(sel_bits, m), ptr.q);
+      const NetId eligible = pass == 0 ? at_or_after : b.not_(at_or_after);
+      const NetId g = b.and_all({requests[m], eligible, b.not_(taken)});
+      grant[m] = b.or_(grant[m], g);
+      winner = b.mux(g, b.constant(sel_bits, m), winner);
+      taken = b.or_(taken, g);
+    }
+  }
+  out.grant = grant;
+  out.any = taken;
+  out.winner = winner;
+
+  // Advance the pointer one past the winner (mod n) on every grant.
+  const NetId at_last = b.uge(winner, b.constant(sel_bits, n - 1));
+  const NetId next = b.mux(at_last, b.zero(sel_bits), b.add_const(winner, 1));
+  b.connect(ptr, next, taken);
+  return out;
+}
+
+BusReq select_request(Builder& b, const std::vector<BusReq>& reqs,
+                      const std::vector<NetId>& grants) {
+  assert(reqs.size() == grants.size() && !reqs.empty());
+  BusReq out;
+  out.req = b.or_all(grants);
+  out.addr = b.zero(kAddrBits);
+  out.we = b.zero(1);
+  out.wdata = b.zero(kDataBits);
+  for (std::size_t m = 0; m < reqs.size(); ++m) {
+    out.addr = b.mux(grants[m], reqs[m].addr, out.addr);
+    out.we = b.mux(grants[m], reqs[m].we, out.we);
+    out.wdata = b.mux(grants[m], reqs[m].wdata, out.wdata);
+  }
+  return out;
+}
+
+} // namespace upec::soc

@@ -1,0 +1,41 @@
+// Fixed-priority combinational arbitration helpers.
+//
+// Pulpissimo's TCDM interconnect resolves same-cycle conflicts with a static
+// scheme; the grant-stall a losing master observes is the contention the
+// BUSted attack family times. Lower master index = higher priority (the SoC
+// instantiates CPU > DMA > HWPE).
+#pragma once
+
+#include <vector>
+
+#include "soc/bus.h"
+
+namespace upec::soc {
+
+enum class ArbiterKind : std::uint8_t {
+  FixedPriority, // lowest index wins (Pulpissimo TCDM default; CPU > DMA > HWPE)
+  RoundRobin,    // rotating pointer; fair, but the pointer is *state* that
+                 // survives a context switch — an additional side-channel
+                 // surface examined by the arbiter ablation tests/benches
+};
+
+struct ArbiterResult {
+  std::vector<NetId> grant; // per requester, 1-bit
+  NetId any = kNullNet;     // 1-bit: some requester granted
+  NetId winner = kNullNet;  // index of the winning requester (sel_bits wide)
+  unsigned sel_bits = 1;
+};
+
+// Grants the lowest-indexed active requester.
+ArbiterResult priority_arbiter(Builder& b, const std::vector<NetId>& requests);
+
+// Work-conserving round-robin: grants the first active requester at or after
+// the pointer; the pointer advances past the winner on every grant.
+ArbiterResult round_robin_arbiter(Builder& b, const std::string& name,
+                                  const std::vector<NetId>& requests);
+
+// Priority-selects one request bundle per the grant vector (assumed one-hot).
+BusReq select_request(Builder& b, const std::vector<BusReq>& reqs,
+                      const std::vector<NetId>& grants);
+
+} // namespace upec::soc

@@ -1,0 +1,50 @@
+// OBI-style on-chip bus bundles.
+//
+// The protocol is the subset of OBI (used by Pulpissimo's TCDM interconnect
+// and peripheral bus) that carries the paper's timing side channel:
+//   - master drives  req/addr/we/wdata  and holds them until `gnt`,
+//   - arbitration happens per slave, combinationally, fixed priority,
+//   - a granted access completes with `rvalid`/`rdata` one cycle later.
+// Contention is visible to a master purely as delayed `gnt` — exactly the
+// effect the BUSted attack family measures.
+#pragma once
+
+#include "rtlir/builder.h"
+
+namespace upec::soc {
+
+using rtlir::Builder;
+using rtlir::kNullNet;
+using rtlir::NetId;
+
+inline constexpr unsigned kAddrBits = 32;
+inline constexpr unsigned kDataBits = 32;
+
+// Request side, driven by a master.
+struct BusReq {
+  NetId req = kNullNet;   // 1
+  NetId addr = kNullNet;  // 32 (byte address, word aligned)
+  NetId we = kNullNet;    // 1
+  NetId wdata = kNullNet; // 32
+};
+
+// Response side, driven by the interconnect.
+struct BusRsp {
+  NetId gnt = kNullNet;    // 1: request accepted this cycle
+  NetId rvalid = kNullNet; // 1: rdata valid (cycle after grant)
+  NetId rdata = kNullNet;  // 32
+};
+
+// Slave-side completion interface (the slave always accepts the request the
+// interconnect forwards; arbitration happened upstream).
+struct SlaveIf {
+  NetId rvalid = kNullNet;
+  NetId rdata = kNullNet;
+};
+
+// An idle request bundle (constant zeros), useful for tying off ports.
+inline BusReq idle_req(Builder& b) {
+  return BusReq{b.zero(1), b.zero(kAddrBits), b.zero(1), b.zero(kDataBits)};
+}
+
+} // namespace upec::soc

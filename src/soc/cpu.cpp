@@ -1,0 +1,209 @@
+#include "soc/cpu.h"
+
+#include <cassert>
+
+namespace upec::soc {
+
+namespace {
+// EX-stage memory FSM.
+constexpr unsigned kNorm = 0;     // executing (or idle bubble)
+constexpr unsigned kWaitGnt = 1;  // memory request issued, not yet granted
+constexpr unsigned kWaitRv = 2;   // load granted, waiting for data
+} // namespace
+
+Cpu::Cpu(Builder& b, const std::string& name, std::uint32_t imem_words)
+    : name_(name), imem_words_(imem_words) {
+  Builder::Scope scope(b, name_);
+  assert((imem_words & (imem_words - 1)) == 0 && "imem size must be a power of two");
+
+  imem_ = b.memory("imem", imem_words, 32);
+  regs_ = b.memory("regs", 32, 32);
+  pc_ = b.reg("pc_q", 32);
+  if_instr_ = b.reg("if_instr_q", 32, /*reset=*/0x13); // NOP (addi x0,x0,0)
+  if_pc_ = b.reg("if_pc_q", 32);
+  if_valid_ = b.reg("if_valid_q", 1);
+  ex_state_ = b.reg("ex_state_q", 2);
+  load_rd_ = b.reg("load_rd_q", 5);
+
+  // --- IF: synchronous fetch ------------------------------------------------------
+  const unsigned iaw = b.mem_addr_width(imem_);
+  sig_.fetch_data = b.mem_read(imem_, b.slice(pc_.q, 2 + iaw - 1, 2));
+
+  // --- EX: decode -----------------------------------------------------------------
+  const NetId instr = if_instr_.q;
+  const NetId pc = if_pc_.q;
+  const NetId opcode = b.slice(instr, 6, 0);
+  const NetId rd = b.slice(instr, 11, 7);
+  const NetId funct3 = b.slice(instr, 14, 12);
+  const NetId rs1 = b.slice(instr, 19, 15);
+  const NetId rs2 = b.slice(instr, 24, 20);
+  const NetId funct7b5 = b.bit(instr, 30);
+
+  const NetId is_lui = b.eq_const(opcode, 0b0110111);
+  const NetId is_auipc = b.eq_const(opcode, 0b0010111);
+  const NetId is_jal = b.eq_const(opcode, 0b1101111);
+  const NetId is_jalr = b.eq_const(opcode, 0b1100111);
+  const NetId is_branch = b.eq_const(opcode, 0b1100011);
+  const NetId is_load = b.eq_const(opcode, 0b0000011);
+  const NetId is_store = b.eq_const(opcode, 0b0100011);
+  const NetId is_opimm = b.eq_const(opcode, 0b0010011);
+  const NetId is_op = b.eq_const(opcode, 0b0110011);
+
+  // Immediates.
+  const NetId imm_i = b.sext(b.slice(instr, 31, 20), 32);
+  const NetId imm_s = b.sext(b.concat(b.slice(instr, 31, 25), b.slice(instr, 11, 7)), 32);
+  const NetId imm_b = b.sext(
+      b.concat(b.concat(b.bit(instr, 31), b.bit(instr, 7)),
+               b.concat(b.concat(b.slice(instr, 30, 25), b.slice(instr, 11, 8)), b.zero(1))),
+      32);
+  const NetId imm_u = b.concat(b.slice(instr, 31, 12), b.zero(12));
+  const NetId imm_j = b.sext(
+      b.concat(b.concat(b.bit(instr, 31), b.slice(instr, 19, 12)),
+               b.concat(b.concat(b.bit(instr, 20), b.slice(instr, 30, 21)), b.zero(1))),
+      32);
+
+  // Register file reads with hardwired x0.
+  const NetId rs1_raw = b.mem_read(regs_, rs1);
+  const NetId rs2_raw = b.mem_read(regs_, rs2);
+  const NetId rs1v = b.mux(b.eq_const(rs1, 0), b.zero(32), rs1_raw);
+  const NetId rs2v = b.mux(b.eq_const(rs2, 0), b.zero(32), rs2_raw);
+
+  // --- ALU ------------------------------------------------------------------------
+  const NetId opb = b.mux(is_op, rs2v, imm_i);
+  const NetId shamt = b.mux(is_op, b.slice(rs2v, 4, 0), b.slice(instr, 24, 20));
+
+  const NetId sum = b.add(rs1v, opb);
+  const NetId diff = b.sub(rs1v, rs2v);
+  const NetId sltu = b.ult(rs1v, opb);
+  const NetId sa = b.bit(rs1v, 31);
+  const NetId sb = b.bit(opb, 31);
+  const NetId slt = b.mux(b.xor_(sa, sb), sa, sltu);
+  const NetId shl = b.shl(rs1v, shamt);
+  const NetId srl = b.lshr(rs1v, shamt);
+  // SRA: logical shift with the vacated high bits filled from the sign.
+  const NetId high_mask = b.not_(b.lshr(b.ones(32), shamt));
+  const NetId sra = b.or_(srl, b.mux(sa, high_mask, b.zero(32)));
+
+  const NetId use_sub = b.and_all({is_op, funct7b5});
+  const NetId shr_val = b.mux(funct7b5, sra, srl);
+  NetId alu = b.mux(use_sub, diff, sum); // funct3 000
+  alu = b.mux(b.eq_const(funct3, 0b001), shl, alu);
+  alu = b.mux(b.eq_const(funct3, 0b010), b.zext(slt, 32), alu);
+  alu = b.mux(b.eq_const(funct3, 0b011), b.zext(sltu, 32), alu);
+  alu = b.mux(b.eq_const(funct3, 0b100), b.xor_(rs1v, opb), alu);
+  alu = b.mux(b.eq_const(funct3, 0b101), shr_val, alu);
+  alu = b.mux(b.eq_const(funct3, 0b110), b.or_(rs1v, opb), alu);
+  alu = b.mux(b.eq_const(funct3, 0b111), b.and_(rs1v, opb), alu);
+
+  // --- branches ---------------------------------------------------------------------
+  const NetId eq = b.eq(rs1v, rs2v);
+  const NetId ltu = b.ult(rs1v, rs2v);
+  const NetId sb2 = b.bit(rs2v, 31);
+  const NetId lts = b.mux(b.xor_(sa, sb2), sa, ltu);
+  NetId taken = eq; // BEQ
+  taken = b.mux(b.eq_const(funct3, 0b001), b.not_(eq), taken);
+  taken = b.mux(b.eq_const(funct3, 0b100), lts, taken);
+  taken = b.mux(b.eq_const(funct3, 0b101), b.not_(lts), taken);
+  taken = b.mux(b.eq_const(funct3, 0b110), ltu, taken);
+  taken = b.mux(b.eq_const(funct3, 0b111), b.not_(ltu), taken);
+
+  NetId target = b.add(pc, imm_b); // branch
+  target = b.mux(is_jal, b.add(pc, imm_j), target);
+  target = b.mux(is_jalr, b.and_(sum, b.constant(32, ~1u)), target); // sum = rs1+imm_i
+
+  // --- write-back value (non-load) ----------------------------------------------------
+  const NetId pc4 = b.add_const(pc, 4);
+  NetId wb = alu;
+  wb = b.mux(is_lui, imm_u, wb);
+  wb = b.mux(is_auipc, b.add(pc, imm_u), wb);
+  wb = b.mux(b.or_(is_jal, is_jalr), pc4, wb);
+
+  // --- data port (no combinational dependence on gnt) ---------------------------------
+  const NetId ex_valid = if_valid_.q;
+  const NetId memop = b.and_(ex_valid, b.or_(is_load, is_store));
+  const NetId in_norm = b.eq_const(ex_state_.q, kNorm);
+  const NetId in_wgnt = b.eq_const(ex_state_.q, kWaitGnt);
+
+  out_.data_req.req = b.or_(b.and_(in_norm, memop), in_wgnt);
+  out_.data_req.addr = b.add(rs1v, b.mux(is_store, imm_s, imm_i));
+  out_.data_req.we = is_store;
+  out_.data_req.wdata = rs2v;
+  out_.imem = imem_.index;
+  out_.regfile = regs_.index;
+  out_.pc = pc_.q;
+
+  sig_.ex_valid = ex_valid;
+  sig_.is_load = is_load;
+  sig_.is_store = is_store;
+  sig_.is_branch = is_branch;
+  sig_.is_jal = is_jal;
+  sig_.is_jalr = is_jalr;
+  sig_.writes_rd =
+      b.or_all({is_lui, is_auipc, is_jal, is_jalr, is_opimm, is_op, is_load});
+  sig_.rd = rd;
+  sig_.taken = taken;
+  sig_.target = target;
+  sig_.wb_val = wb;
+}
+
+void Cpu::finalize(Builder& b, NetId gnt, NetId rvalid, NetId rdata) {
+  Builder::Scope scope(b, name_);
+
+  const NetId in_norm = b.eq_const(ex_state_.q, kNorm);
+  const NetId in_wgnt = b.eq_const(ex_state_.q, kWaitGnt);
+  const NetId in_wrv = b.eq_const(ex_state_.q, kWaitRv);
+  const NetId memop = b.and_(sig_.ex_valid, b.or_(sig_.is_load, sig_.is_store));
+
+  // Completion of the instruction currently in EX.
+  const NetId store_done_norm = b.and_all({in_norm, sig_.ex_valid, sig_.is_store, gnt});
+  const NetId nonmem_done = b.and_all({in_norm, sig_.ex_valid, b.not_(memop)});
+  const NetId store_done_wgnt = b.and_all({in_wgnt, sig_.is_store, gnt});
+  const NetId load_done = b.and_(in_wrv, rvalid);
+  const NetId done = b.or_all({nonmem_done, store_done_norm, store_done_wgnt, load_done});
+  const NetId advance = b.or_(done, b.not_(sig_.ex_valid));
+
+  // EX memory FSM.
+  NetId state_next = ex_state_.q;
+  {
+    const NetId issue_load = b.and_all({in_norm, sig_.ex_valid, sig_.is_load});
+    const NetId issue_store_stall =
+        b.and_all({in_norm, sig_.ex_valid, sig_.is_store, b.not_(gnt)});
+    state_next = b.mux(issue_load, b.mux(gnt, b.constant(2, kWaitRv), b.constant(2, kWaitGnt)),
+                       state_next);
+    state_next = b.mux(issue_store_stall, b.constant(2, kWaitGnt), state_next);
+    state_next = b.mux(store_done_wgnt, b.constant(2, kNorm), state_next);
+    state_next = b.mux(b.and_all({in_wgnt, sig_.is_load, gnt}), b.constant(2, kWaitRv),
+                       state_next);
+    state_next = b.mux(load_done, b.constant(2, kNorm), state_next);
+  }
+  b.connect(ex_state_, state_next);
+
+  // Redirect & fetch advance.
+  const NetId branch_taken = b.and_(sig_.is_branch, sig_.taken);
+  const NetId redirect =
+      b.and_(done, b.or_all({sig_.is_jal, sig_.is_jalr, branch_taken}));
+  NetId pc_next = b.mux(advance, b.add_const(pc_.q, 4), pc_.q);
+  pc_next = b.mux(redirect, sig_.target, pc_next);
+  b.connect(pc_, pc_next);
+  b.connect(if_instr_, sig_.fetch_data, advance);
+  b.connect(if_pc_, pc_.q, advance);
+  NetId if_valid_next = b.mux(advance, b.one(1), if_valid_.q);
+  if_valid_next = b.mux(redirect, b.zero(1), if_valid_next);
+  b.connect(if_valid_, if_valid_next);
+
+  // Track the destination of an in-flight load.
+  b.connect(load_rd_, sig_.rd, b.and_all({in_norm, sig_.ex_valid, sig_.is_load}));
+
+  // Register-file write-back (x0 writes dropped).
+  const NetId waddr = b.mux(load_done, load_rd_.q, sig_.rd);
+  const NetId wdata = b.mux(load_done, rdata, sig_.wb_val);
+  const NetId non_load_wb = b.and_all({done, b.not_(load_done), sig_.writes_rd});
+  const NetId wen =
+      b.and_(b.or_(non_load_wb, load_done), b.ne_const(waddr, 0));
+  b.mem_write(regs_, waddr, wdata, wen);
+
+  out_.retired = done;
+  b.output("retired", done);
+}
+
+} // namespace upec::soc

@@ -1,0 +1,69 @@
+// 2-stage pipelined RV32I core (IF / EX), modeled on the Pulpissimo paper's
+// "2-stage pipelined RISC-V core" (zero-riscy class).
+//
+// Microarchitecture:
+//   - IF: synchronous fetch from a core-local instruction memory (MCU
+//     ROM/flash model); one instruction latched per cycle.
+//   - EX: decode + ALU + branch resolution + data-memory access + write-back.
+//     Loads stall the pipeline until rvalid; stores are posted after grant.
+//     Taken branches/jumps redirect the PC and squash the fetched slot
+//     (one-cycle bubble).
+//   - Register file: 32x32 memory array; x0 is hardwired to zero.
+//
+// ISA subset: LUI AUIPC JAL JALR, all branches, LW SW (word only), all
+// OP-IMM and OP arithmetic including shifts and SRA. No CSRs, fences,
+// sub-word accesses, or exceptions — none of which participate in the
+// paper's threat model (Sec 2.1 rules out CPU-internal footprints).
+//
+// All core state lives under the "soc.cpu." scope, which is exactly what
+// Def. 1 (1) of the paper excludes from S_¬victim.
+#pragma once
+
+#include <string>
+
+#include "soc/bus.h"
+
+namespace upec::soc {
+
+struct CpuOut {
+  BusReq data_req;               // data port, master on the crossbars
+  std::uint32_t imem = 0;        // rtlir memory index of the instruction ROM
+  std::uint32_t regfile = 0;     // rtlir memory index of the register file
+  NetId pc = kNullNet;           // current fetch PC (probe)
+  NetId retired = kNullNet;      // 1-bit: instruction completed this cycle
+};
+
+class Cpu {
+public:
+  // `imem_words` must be a power of two. The boot PC is 0 (imem-local).
+  Cpu(Builder& b, const std::string& name, std::uint32_t imem_words);
+
+  const CpuOut& out() const { return out_; }
+
+  // Connects the data-port response; must run after the interconnect exists.
+  void finalize(Builder& b, NetId gnt, NetId rvalid, NetId rdata);
+
+private:
+  std::string name_;
+  std::uint32_t imem_words_;
+  rtlir::MemHandle imem_{}, regs_{};
+  rtlir::RegHandle pc_, if_instr_, if_pc_, if_valid_, ex_state_, load_rd_;
+  CpuOut out_;
+
+  // Decode/execute nets computed in the constructor (they depend only on
+  // architectural state), consumed by finalize() once the bus responses
+  // exist. Register updates are all connected in finalize().
+  struct Signals {
+    NetId fetch_data = kNullNet;
+    NetId ex_valid = kNullNet;
+    NetId is_load = kNullNet, is_store = kNullNet, is_branch = kNullNet;
+    NetId is_jal = kNullNet, is_jalr = kNullNet;
+    NetId writes_rd = kNullNet;
+    NetId rd = kNullNet;
+    NetId taken = kNullNet;     // branch condition result
+    NetId target = kNullNet;    // redirect target (branch/jal/jalr)
+    NetId wb_val = kNullNet;    // write-back value for non-load instructions
+  } sig_;
+};
+
+} // namespace upec::soc

@@ -1,0 +1,81 @@
+#include "soc/dma.h"
+
+#include <cassert>
+
+namespace upec::soc {
+
+namespace {
+constexpr unsigned kIdle = 0, kRead = 1, kReadWait = 2, kWrite = 3;
+} // namespace
+
+Dma::Dma(Builder& b, const std::string& name) : name_(name) {
+  Builder::Scope scope(b, name_);
+  src_ = b.reg("src_q", 32);
+  dst_ = b.reg("dst_q", 32);
+  len_ = b.reg("len_q", 16);
+  cnt_ = b.reg("cnt_q", 16);
+  state_ = b.reg("state_q", 2);
+  rlatch_ = b.reg("rlatch_q", 32);
+  done_pulse_q_ = b.reg("done_q", 1);
+  done_pulse_net_ = done_pulse_q_.q;
+
+  busy_ = b.ne_const(state_.q, kIdle);
+  const NetId reading = b.eq_const(state_.q, kRead);
+  const NetId writing = b.eq_const(state_.q, kWrite);
+  const NetId word_off = b.shl(b.zext(cnt_.q, 32), b.constant(5, 2));
+
+  master_.req = b.or_(reading, writing);
+  master_.addr = b.add(b.mux(reading, src_.q, dst_.q), word_off);
+  master_.we = writing;
+  master_.wdata = rlatch_.q;
+}
+
+SlaveIf Dma::slave(Builder& b, const BusReq& cfg_bus) {
+  Builder::Scope scope(b, name_);
+  bus_ = periph_decode(b, cfg_bus);
+  have_bus_ = true;
+  return periph_response(
+      b, bus_, {{0, src_.q}, {1, dst_.q}, {2, len_.q}, {3, b.zero(1)}, {4, busy_}});
+}
+
+void Dma::finalize(Builder& b, NetId gnt, NetId rvalid, NetId rdata) {
+  assert(have_bus_ && "slave() must run before finalize()");
+  Builder::Scope scope(b, name_);
+
+  b.connect(src_, bus_.wdata, reg_wr(b, bus_, 0));
+  b.connect(dst_, bus_.wdata, reg_wr(b, bus_, 1));
+  b.connect(len_, b.trunc(bus_.wdata, 16), reg_wr(b, bus_, 2));
+
+  const NetId go = b.and_all(
+      {reg_wr(b, bus_, 3), b.bit(bus_.wdata, 0), b.not_(busy_), b.ne_const(len_.q, 0)});
+
+  const NetId st_idle = b.eq_const(state_.q, kIdle);
+  const NetId st_rd = b.eq_const(state_.q, kRead);
+  const NetId st_rdw = b.eq_const(state_.q, kReadWait);
+  const NetId st_wr = b.eq_const(state_.q, kWrite);
+
+  const NetId last_word = b.eq(b.add_const(cnt_.q, 1), len_.q);
+  const NetId wr_done = b.and_(st_wr, gnt);
+  const NetId xfer_done = b.and_(wr_done, last_word);
+
+  // Next state.
+  NetId next = state_.q;
+  next = b.mux(b.and_(st_idle, go), b.constant(2, kRead), next);
+  next = b.mux(b.and_(st_rd, gnt), b.constant(2, kReadWait), next);
+  next = b.mux(b.and_(st_rdw, rvalid), b.constant(2, kWrite), next);
+  next = b.mux(wr_done, b.mux(last_word, b.constant(2, kIdle), b.constant(2, kRead)), next);
+  b.connect(state_, next);
+
+  // Word counter: clear on go, advance after each completed word.
+  NetId cnt_next = b.mux(b.and_(wr_done, b.not_(last_word)), b.add_const(cnt_.q, 1), cnt_.q);
+  cnt_next = b.mux(go, b.zero(16), cnt_next);
+  b.connect(cnt_, cnt_next);
+
+  // Read-data latch.
+  b.connect(rlatch_, rdata, b.and_(st_rdw, rvalid));
+
+  // Registered completion pulse for the event unit.
+  b.connect(done_pulse_q_, xfer_done);
+}
+
+} // namespace upec::soc

@@ -1,0 +1,47 @@
+// uDMA-style memory-to-memory copy engine.
+//
+// The DMA is one of the "spying IPs" of the paper's threat model: an attacker
+// configures a copy before the context switch; the copy's completion time —
+// and therefore when it fires the done event — depends on bus contention with
+// the victim. In Pulpissimo, the DMA is also one of the "very few IPs" that
+// can reach the private memory, making it the IP whose configurations the
+// Sec 4.2 countermeasure restricts via firmware constraints.
+//
+// Register map (word offsets): 0 SRC, 1 DST, 2 LEN, 3 CTRL (write bit0 = go),
+// 4 STATUS (bit0 = busy). FSM per word: issue read, wait rvalid, issue write.
+#pragma once
+
+#include <string>
+
+#include "soc/periph.h"
+
+namespace upec::soc {
+
+class Dma {
+public:
+  Dma(Builder& b, const std::string& name);
+
+  // Master request bundle (function of DMA registers only — no combinational
+  // dependence on grant, which keeps the SoC free of arbitration loops).
+  const BusReq& master_req() const { return master_; }
+
+  SlaveIf slave(Builder& b, const BusReq& cfg_bus);
+  void finalize(Builder& b, NetId gnt, NetId rvalid, NetId rdata);
+
+  NetId done_pulse() const { return done_pulse_net_; }
+  NetId busy() const { return busy_; }
+  NetId src_q() const { return src_.q; }
+  NetId dst_q() const { return dst_.q; }
+
+private:
+  std::string name_;
+  rtlir::RegHandle src_, dst_, len_, cnt_, state_, rlatch_;
+  BusReq master_;
+  NetId busy_ = kNullNet;
+  NetId done_pulse_net_ = kNullNet;
+  rtlir::RegHandle done_pulse_q_;
+  PeriphBus bus_;
+  bool have_bus_ = false;
+};
+
+} // namespace upec::soc

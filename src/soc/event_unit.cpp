@@ -1,0 +1,38 @@
+#include "soc/event_unit.h"
+
+#include <cassert>
+
+namespace upec::soc {
+
+EventUnit::EventUnit(Builder& b, const std::string& name) : name_(name) {
+  Builder::Scope scope(b, name_);
+  pending_ = b.reg("pending_q", 3);
+  trig_sel_ = b.reg("trig_sel_q", 2);
+}
+
+SlaveIf EventUnit::slave(Builder& b, const BusReq& cfg_bus) {
+  Builder::Scope scope(b, name_);
+  bus_ = periph_decode(b, cfg_bus);
+  have_bus_ = true;
+  return periph_response(b, bus_, {{0, pending_.q}, {1, trig_sel_.q}});
+}
+
+NetId EventUnit::finalize(Builder& b, NetId dma_done, NetId hwpe_done, NetId timer_ovf) {
+  assert(have_bus_ && "slave() must run before finalize()");
+  Builder::Scope scope(b, name_);
+
+  // Sticky pending bits with write-1-to-clear.
+  const NetId events = b.concat(b.concat(timer_ovf, hwpe_done), dma_done);
+  const NetId wr_pending = reg_wr(b, bus_, 0);
+  const NetId clear_mask = b.mux(wr_pending, b.trunc(bus_.wdata, 3), b.zero(3));
+  b.connect(pending_, b.or_(b.and_(pending_.q, b.not_(clear_mask)), events));
+
+  b.connect(trig_sel_, b.trunc(bus_.wdata, 2), reg_wr(b, bus_, 1));
+
+  // Timer hardware-start routing.
+  const NetId sel_dma = b.eq_const(trig_sel_.q, 1);
+  const NetId sel_hwpe = b.eq_const(trig_sel_.q, 2);
+  return b.or_(b.and_(sel_dma, dma_done), b.and_(sel_hwpe, hwpe_done));
+}
+
+} // namespace upec::soc

@@ -1,0 +1,36 @@
+// Event unit: latches completion events from IPs into a sticky, attacker-
+// readable pending register, and optionally routes a selected event to the
+// timer's hardware start input. The DMA-done → timer-start route is what the
+// classic BUSted attack (Fig. 1) uses to start its stopwatch without software
+// involvement at the end of the recording phase.
+//
+// Register map (word offsets):
+//   0 PENDING  bit0 = dma_done, bit1 = hwpe_done, bit2 = timer_ovf;
+//              sticky, write-1-to-clear
+//   1 TRIGSEL  0 = none, 1 = dma_done starts timer, 2 = hwpe_done starts timer
+#pragma once
+
+#include <string>
+
+#include "soc/periph.h"
+
+namespace upec::soc {
+
+class EventUnit {
+public:
+  EventUnit(Builder& b, const std::string& name);
+
+  SlaveIf slave(Builder& b, const BusReq& cfg_bus);
+  // Returns the timer hardware-start pulse.
+  NetId finalize(Builder& b, NetId dma_done, NetId hwpe_done, NetId timer_ovf);
+
+  NetId pending_q() const { return pending_.q; }
+
+private:
+  std::string name_;
+  rtlir::RegHandle pending_, trig_sel_;
+  PeriphBus bus_;
+  bool have_bus_ = false;
+};
+
+} // namespace upec::soc

@@ -1,0 +1,22 @@
+#include "soc/gpio.h"
+
+namespace upec::soc {
+
+GpioOut build_gpio(Builder& b, const std::string& name, const BusReq& bus, NetId pad_in) {
+  Builder::Scope scope(b, name);
+  const PeriphBus p = periph_decode(b, bus);
+
+  rtlir::RegHandle dir = b.reg("dir_q", 16);
+  rtlir::RegHandle out = b.reg("out_q", 16);
+  b.connect(dir, b.trunc(p.wdata, 16), reg_wr(b, p, 0));
+  b.connect(out, b.trunc(p.wdata, 16), reg_wr(b, p, 1));
+
+  // Pads are sampled through a register (synchronizer stand-in).
+  const NetId in_q = b.pipe("in_q", pad_in);
+
+  GpioOut g;
+  g.slave = periph_response(b, p, {{0, dir.q}, {1, out.q}, {2, in_q}});
+  return g;
+}
+
+} // namespace upec::soc

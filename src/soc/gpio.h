@@ -1,0 +1,18 @@
+// GPIO block: DIR/OUT registers plus a pad-input sample register.
+// Offsets: 0 DIR, 1 OUT, 2 IN (read-only). Attacker-readable persistent
+// state; part of S_pers in the UPEC-SSC classification.
+#pragma once
+
+#include <string>
+
+#include "soc/periph.h"
+
+namespace upec::soc {
+
+struct GpioOut {
+  SlaveIf slave;
+};
+
+GpioOut build_gpio(Builder& b, const std::string& name, const BusReq& bus, NetId pad_in);
+
+} // namespace upec::soc

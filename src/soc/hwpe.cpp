@@ -1,0 +1,69 @@
+#include "soc/hwpe.h"
+
+#include <cassert>
+
+namespace upec::soc {
+
+Hwpe::Hwpe(Builder& b, const std::string& name) : name_(name) {
+  Builder::Scope scope(b, name_);
+  dst_ = b.reg("dst_q", 32);
+  len_ = b.reg("len_q", 16);
+  progress_ = b.reg("progress_q", 16);
+  running_ = b.reg("running_q", 1);
+  stream_stage_ = b.reg("stream_stage_q", 1);
+  done_q_ = b.reg("done_q", 1);
+
+  // Staged streamer (initiation interval 2): issue dst + 4*progress <-
+  // progress + 1, commit the grant through the stream stage, then advance
+  // PROGRESS. The stage register is rewritten every cycle — transient
+  // interconnect-facing state — while PROGRESS is the architecturally
+  // readable, persistent record the attack retrieves.
+  master_.req = b.and_(running_.q, b.not_(stream_stage_.q));
+  master_.addr = b.add(dst_.q, b.shl(b.zext(progress_.q, 32), b.constant(5, 2)));
+  master_.we = master_.req;
+  master_.wdata = b.zext(b.add_const(progress_.q, 1), 32);
+}
+
+SlaveIf Hwpe::slave(Builder& b, const BusReq& cfg_bus) {
+  Builder::Scope scope(b, name_);
+  bus_ = periph_decode(b, cfg_bus);
+  have_bus_ = true;
+  return periph_response(
+      b, bus_, {{0, dst_.q}, {1, len_.q}, {2, b.zero(1)}, {3, running_.q}, {4, progress_.q}});
+}
+
+void Hwpe::finalize(Builder& b, NetId gnt) {
+  assert(have_bus_ && "slave() must run before finalize()");
+  Builder::Scope scope(b, name_);
+
+  // Configuration is locked while the engine runs (otherwise a mid-stream
+  // LEN rewrite could make PROGRESS overshoot the region — caught by the
+  // SocFormal.HwpeProgressNeverExceedsLen inductive check).
+  const NetId idle = b.not_(running_.q);
+  b.connect(dst_, bus_.wdata, b.and_(reg_wr(b, bus_, 0), idle));
+  b.connect(len_, b.trunc(bus_.wdata, 16), b.and_(reg_wr(b, bus_, 1), idle));
+
+  const NetId wr_ctrl = reg_wr(b, bus_, 2);
+  const NetId go = b.and_all({wr_ctrl, b.bit(bus_.wdata, 0), b.not_(running_.q),
+                              b.ne_const(len_.q, 0)});
+  const NetId stop = b.and_(wr_ctrl, b.not_(b.bit(bus_.wdata, 0)));
+
+  // Grant commits through the stream stage; PROGRESS advances a cycle later.
+  b.connect(stream_stage_, b.and_(master_.req, gnt));
+
+  const NetId wrote = stream_stage_.q;
+  const NetId last = b.eq(b.add_const(progress_.q, 1), len_.q);
+  const NetId finished = b.and_all({running_.q, wrote, last});
+
+  NetId prog_next = b.mux(wrote, b.add_const(progress_.q, 1), progress_.q);
+  prog_next = b.mux(go, b.zero(16), prog_next);
+  b.connect(progress_, prog_next);
+
+  NetId run_next = b.mux(b.or_(finished, stop), b.zero(1), running_.q);
+  run_next = b.mux(go, b.one(1), run_next);
+  b.connect(running_, run_next);
+
+  b.connect(done_q_, finished);
+}
+
+} // namespace upec::soc

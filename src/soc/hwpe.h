@@ -1,0 +1,44 @@
+// Hardware Processing Engine (HWPE) accelerator.
+//
+// This is the IP at the center of the paper's newly found BUSted variant
+// (Sec 4.1): it streams results into a configured memory region, one word per
+// cycle when granted. When a victim access contends for the same memory, the
+// HWPE's stream stalls — so after the attack window, the *overwrite progress*
+// visible in the primed memory region (and the PROGRESS register) encodes how
+// often the victim accessed that memory device. No timer is needed.
+//
+// Register map (word offsets): 0 DST, 1 LEN, 2 CTRL (write bit0=1 = go,
+// bit0=0 = stop), 3 STATUS (bit0 = busy), 4 PROGRESS (words written so far).
+// Streaming pattern: word i receives the non-zero value i+1 (the paper's
+// "progressively overwrite the primed region with non-zero values").
+#pragma once
+
+#include <string>
+
+#include "soc/periph.h"
+
+namespace upec::soc {
+
+class Hwpe {
+public:
+  Hwpe(Builder& b, const std::string& name);
+
+  const BusReq& master_req() const { return master_; }
+
+  SlaveIf slave(Builder& b, const BusReq& cfg_bus);
+  void finalize(Builder& b, NetId gnt);
+
+  NetId done_pulse() const { return done_q_.q; }
+  NetId busy() const { return running_.q; }
+  NetId progress_q() const { return progress_.q; }
+  NetId dst_q() const { return dst_.q; }
+
+private:
+  std::string name_;
+  rtlir::RegHandle dst_, len_, progress_, running_, stream_stage_, done_q_;
+  BusReq master_;
+  PeriphBus bus_;
+  bool have_bus_ = false;
+};
+
+} // namespace upec::soc

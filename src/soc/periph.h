@@ -1,0 +1,52 @@
+// Shared plumbing for memory-mapped peripheral register files: offset
+// decoding, write strobes, and the registered read-response path every APB
+// style peripheral in the SoC uses.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "soc/bus.h"
+
+namespace upec::soc {
+
+// Decoded view of a peripheral's (post-arbitration) bus request.
+struct PeriphBus {
+  NetId req = kNullNet;
+  NetId wr_en = kNullNet;    // req && we
+  NetId rd_en = kNullNet;    // req && !we
+  NetId word_off = kNullNet; // addr[5:2]: register index within the 64 B block
+  NetId wdata = kNullNet;
+};
+
+inline PeriphBus periph_decode(Builder& b, const BusReq& bus) {
+  PeriphBus p;
+  p.req = bus.req;
+  p.wr_en = b.and_(bus.req, bus.we);
+  p.rd_en = b.and_(bus.req, b.not_(bus.we));
+  p.word_off = b.slice(bus.addr, 5, 2);
+  p.wdata = bus.wdata;
+  return p;
+}
+
+// Write strobe for the register at the given word offset.
+inline NetId reg_wr(Builder& b, const PeriphBus& p, unsigned offset_words) {
+  return b.and_(p.wr_en, b.eq_const(p.word_off, offset_words));
+}
+
+// Registered read response over a (offset -> value) map; values narrower than
+// 32 bits are zero-extended. rvalid follows one cycle after a *read* request;
+// writes are posted (no response), matching the SRAM banks.
+inline SlaveIf periph_response(Builder& b, const PeriphBus& p,
+                               const std::vector<std::pair<unsigned, NetId>>& read_map) {
+  NetId rdata = b.zero(kDataBits);
+  for (const auto& [off, value] : read_map) {
+    rdata = b.mux(b.eq_const(p.word_off, off), b.zext(value, kDataBits), rdata);
+  }
+  SlaveIf out;
+  out.rdata = b.pipe("rdata_q", rdata, p.rd_en);
+  out.rvalid = b.pipe("rvalid_q", p.rd_en);
+  return out;
+}
+
+} // namespace upec::soc

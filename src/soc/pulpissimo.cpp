@@ -1,0 +1,155 @@
+#include "soc/pulpissimo.h"
+
+#include <optional>
+
+#include "rtlir/builder.h"
+#include "soc/cpu.h"
+#include "soc/dma.h"
+#include "soc/event_unit.h"
+#include "soc/gpio.h"
+#include "soc/hwpe.h"
+#include "soc/soc_ctrl.h"
+#include "soc/sram.h"
+#include "soc/timer.h"
+#include "soc/uart.h"
+#include "soc/xbar.h"
+
+namespace upec::soc {
+
+bool Soc::is_cpu_interface(const std::string& input_name) {
+  return input_name.rfind("soc.cpu.", 0) == 0;
+}
+
+std::int64_t Soc::word_address(std::uint32_t mem_index, std::uint32_t word) const {
+  const Region* region = nullptr;
+  if (mem_index == pub_ram_mem) {
+    region = &map.region(AddrMap::kPubRam);
+  } else if (mem_index == priv_ram_mem) {
+    region = &map.region(AddrMap::kPrivRam);
+  } else {
+    return -1;
+  }
+  const std::uint32_t byte = word * 4;
+  if (byte >= region->size) return -1;
+  return static_cast<std::int64_t>(region->base + byte);
+}
+
+Soc build_pulpissimo(const SocConfig& config) {
+  Soc soc;
+  soc.config = config;
+  soc.map = AddrMap::pulpissimo(config.pub_ram_words, config.priv_ram_words);
+  soc.design = std::make_unique<rtlir::Design>();
+  rtlir::Builder b(*soc.design);
+
+  Builder::Scope soc_scope(b, "soc");
+
+  // --- CPU: either the real 2-stage core or its bus interface as inputs ----------
+  BusReq cpu;
+  std::optional<Cpu> core;
+  if (config.with_cpu) {
+    core.emplace(b, "cpu", config.imem_words);
+    cpu = core->out().data_req;
+    soc.cpu_imem = core->out().imem;
+    soc.cpu_regfile = core->out().regfile;
+  } else {
+    Builder::Scope s(b, "cpu");
+    cpu.req = b.input("req", 1);
+    cpu.addr = b.input("addr", kAddrBits);
+    cpu.we = b.input("we", 1);
+    cpu.wdata = b.input("wdata", kDataBits);
+  }
+  const NetId gpio_pad_in = b.input("pad.gpio_in", 16);
+  {
+    // Symbolic victim address range (stable specification inputs; no fanout).
+    Builder::Scope s(b, "spec");
+    b.input("victim_lo", kAddrBits, /*stable=*/true);
+    b.input("victim_hi", kAddrBits, /*stable=*/true);
+  }
+
+  // --- IP shells (registers + master request bundles) ----------------------------
+  Dma dma(b, "dma");
+  Hwpe hwpe(b, "hwpe");
+  Timer timer(b, "timer");
+  EventUnit event_unit(b, "event");
+
+  // --- private crossbar: CPU + DMA -> private RAM --------------------------------
+  const Region priv_region = soc.map.region(AddrMap::kPrivRam);
+  const BusReq dma_priv =
+      config.hw_private_guard ? idle_req(b) : dma.master_req();
+  Xbar xb_priv(b, "xbar_priv", {cpu, dma_priv}, {priv_region}, config.arbiter);
+  {
+    const SramOut priv_ram =
+        build_sram(b, "priv_ram", priv_region, config.priv_ram_words, xb_priv.slave_req(0));
+    soc.priv_ram_mem = priv_ram.mem_index;
+    xb_priv.connect_slave(0, priv_ram.slave);
+  }
+
+  // --- public crossbar: CPU + DMA + HWPE -> L2 + peripherals ---------------------
+  const std::vector<std::string> pub_slaves = {
+      AddrMap::kPubRam, AddrMap::kGpio, AddrMap::kUart,    AddrMap::kDma,
+      AddrMap::kHwpe,   AddrMap::kEvent, AddrMap::kSocCtrl, AddrMap::kTimer,
+  };
+  std::vector<Region> pub_regions;
+  for (const auto& name : pub_slaves) pub_regions.push_back(soc.map.region(name));
+
+  Xbar xb_pub(b, "xbar_pub", {cpu, dma.master_req(), hwpe.master_req()}, pub_regions,
+              config.arbiter);
+
+  {
+    const SramOut pub_ram = build_sram(b, "pub_ram", pub_regions[0], config.pub_ram_words,
+                                       xb_pub.slave_req(0));
+    soc.pub_ram_mem = pub_ram.mem_index;
+    xb_pub.connect_slave(0, pub_ram.slave);
+  }
+  xb_pub.connect_slave(1, build_gpio(b, "gpio", xb_pub.slave_req(1), gpio_pad_in).slave);
+  const UartOut uart = build_uart(b, "uart", xb_pub.slave_req(2));
+  xb_pub.connect_slave(2, uart.slave);
+  xb_pub.connect_slave(3, dma.slave(b, xb_pub.slave_req(3)));
+  xb_pub.connect_slave(4, hwpe.slave(b, xb_pub.slave_req(4)));
+  xb_pub.connect_slave(5, event_unit.slave(b, xb_pub.slave_req(5)));
+  xb_pub.connect_slave(6, build_soc_ctrl(b, "soc_ctrl", xb_pub.slave_req(6)).slave);
+  xb_pub.connect_slave(7, timer.slave(b, xb_pub.slave_req(7)));
+
+  // --- response merge -------------------------------------------------------------
+  const BusRsp cpu_pub = xb_pub.master_rsp(0);
+  const BusRsp cpu_priv = xb_priv.master_rsp(0);
+  const NetId cpu_gnt = b.or_(cpu_pub.gnt, cpu_priv.gnt);
+  const NetId cpu_rvalid = b.or_(cpu_pub.rvalid, cpu_priv.rvalid);
+  const NetId cpu_rdata = b.mux(cpu_pub.rvalid, cpu_pub.rdata, cpu_priv.rdata);
+
+  const BusRsp dma_pub = xb_pub.master_rsp(1);
+  const BusRsp dma_priv_rsp = xb_priv.master_rsp(1);
+  const NetId dma_gnt = b.or_(dma_pub.gnt, dma_priv_rsp.gnt);
+  const NetId dma_rvalid = b.or_(dma_pub.rvalid, dma_priv_rsp.rvalid);
+  const NetId dma_rdata = b.mux(dma_pub.rvalid, dma_pub.rdata, dma_priv_rsp.rdata);
+
+  const BusRsp hwpe_rsp = xb_pub.master_rsp(2);
+
+  // --- IP state updates -------------------------------------------------------------
+  if (core) core->finalize(b, cpu_gnt, cpu_rvalid, cpu_rdata);
+  dma.finalize(b, dma_gnt, dma_rvalid, dma_rdata);
+  hwpe.finalize(b, hwpe_rsp.gnt);
+  const NetId timer_start =
+      event_unit.finalize(b, dma.done_pulse(), hwpe.done_pulse(), timer.ovf_pulse());
+  timer.finalize(b, timer_start);
+
+  // --- probes ------------------------------------------------------------------------
+  b.global_output(probe::kCpuGnt, cpu_gnt);
+  b.global_output(probe::kCpuRvalid, cpu_rvalid);
+  b.global_output(probe::kCpuRdata, cpu_rdata);
+  b.global_output(probe::kHwpeProgress, hwpe.progress_q());
+  b.global_output(probe::kHwpeBusy, hwpe.busy());
+  b.global_output(probe::kHwpeGntPub, hwpe_rsp.gnt);
+  b.global_output(probe::kDmaBusy, dma.busy());
+  b.global_output(probe::kTimerCount, timer.count_q());
+  b.global_output(probe::kEventPending, event_unit.pending_q());
+  b.global_output(probe::kUartTx, uart.tx);
+  if (core) {
+    b.global_output(probe::kCpuPc, core->out().pc);
+    b.global_output(probe::kCpuRetired, core->out().retired);
+  }
+
+  return soc;
+}
+
+} // namespace upec::soc

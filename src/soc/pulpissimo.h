@@ -1,0 +1,84 @@
+// Pulpissimo-style MCU uncore: the design under verification of the case
+// study (Sec 4), generated into the rtlir netlist.
+//
+// Structure (matching the paper's description of the SoC):
+//   - CPU modeled at the CPU/system interface (Obs. 1): the core's bus port
+//     is a set of primary inputs "cpu.*"; the formal layer leaves the
+//     interface symbolic, the simulator drives task scripts through it.
+//   - Two crossbars: a public one (L2 RAM + all peripherals; masters CPU,
+//     DMA, HWPE) and a private one (private RAM; masters CPU and DMA only) —
+//     the two-memory-device architecture the countermeasure of Sec 4.2
+//     exploits.
+//   - IPs: DMA, HWPE accelerator, timer, GPIO, UART, event unit, SoC control.
+//   - Fixed-priority arbitration (CPU > DMA > HWPE) — grant stalls under
+//     contention are the timing channel.
+//
+// The symbolic victim address range [spec.victim_lo, spec.victim_hi] is a
+// pair of stable specification inputs; they drive no logic and exist so the
+// UPEC-SSC macros can refer to one range consistently everywhere.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "rtlir/analyze.h"
+#include "soc/addr_map.h"
+#include "soc/arbiter.h"
+#include "soc/bus.h"
+
+namespace upec::soc {
+
+struct SocConfig {
+  std::uint32_t pub_ram_words = 32;
+  std::uint32_t priv_ram_words = 16;
+  // Hardware variant of the countermeasure (ablation): physically disconnect
+  // the DMA from the private crossbar instead of constraining its firmware.
+  bool hw_private_guard = false;
+  // Arbitration policy of both crossbars (ablation; see soc/arbiter.h —
+  // round-robin introduces persistent arbitration state).
+  ArbiterKind arbiter = ArbiterKind::FixedPriority;
+  // Instantiate the 2-stage RV32I core (soc/cpu.h) instead of exposing the
+  // CPU/system interface as primary inputs. The formal flow uses the
+  // interface abstraction (the paper's own Obs. 1 modeling); the full-core
+  // build runs real software in simulation and for the ISS cross-checks.
+  bool with_cpu = false;
+  std::uint32_t imem_words = 64;
+};
+
+struct Soc {
+  SocConfig config;
+  AddrMap map;
+  std::unique_ptr<rtlir::Design> design;
+
+  std::uint32_t pub_ram_mem = 0;  // rtlir memory index of the public L2 bank
+  std::uint32_t priv_ram_mem = 0; // rtlir memory index of the private bank
+  std::int64_t cpu_imem = -1;     // instruction ROM (with_cpu builds only)
+  std::int64_t cpu_regfile = -1;  // register file (with_cpu builds only)
+
+  // True for primary inputs that form the CPU/system interface (these get
+  // per-instance images in the UPEC miter).
+  static bool is_cpu_interface(const std::string& input_name);
+
+  // Byte address of a memory word, or -1 if the word is in no mapped RAM.
+  std::int64_t word_address(std::uint32_t mem_index, std::uint32_t word) const;
+};
+
+// Canonical probe names exported via design outputs.
+namespace probe {
+inline constexpr const char* kCpuGnt = "cpu_gnt";
+inline constexpr const char* kCpuRvalid = "cpu_rvalid";
+inline constexpr const char* kCpuRdata = "cpu_rdata";
+inline constexpr const char* kHwpeProgress = "hwpe_progress";
+inline constexpr const char* kHwpeBusy = "hwpe_busy";
+inline constexpr const char* kHwpeGntPub = "hwpe_gnt_pub";
+inline constexpr const char* kDmaBusy = "dma_busy";
+inline constexpr const char* kTimerCount = "timer_count";
+inline constexpr const char* kEventPending = "event_pending";
+inline constexpr const char* kUartTx = "uart_tx";
+inline constexpr const char* kCpuPc = "cpu_pc";           // with_cpu builds
+inline constexpr const char* kCpuRetired = "cpu_retired"; // with_cpu builds
+} // namespace probe
+
+Soc build_pulpissimo(const SocConfig& config = {});
+
+} // namespace upec::soc

@@ -1,0 +1,20 @@
+#include "soc/soc_ctrl.h"
+
+namespace upec::soc {
+
+SocCtrlOut build_soc_ctrl(Builder& b, const std::string& name, const BusReq& bus) {
+  Builder::Scope scope(b, name);
+  const PeriphBus p = periph_decode(b, bus);
+
+  rtlir::RegHandle scratch0 = b.reg("scratch0_q", 32);
+  rtlir::RegHandle scratch1 = b.reg("scratch1_q", 32);
+  b.connect(scratch0, p.wdata, reg_wr(b, p, 1));
+  b.connect(scratch1, p.wdata, reg_wr(b, p, 2));
+
+  SocCtrlOut s;
+  s.slave = periph_response(
+      b, p, {{0, b.constant(32, kChipId)}, {1, scratch0.q}, {2, scratch1.q}});
+  return s;
+}
+
+} // namespace upec::soc

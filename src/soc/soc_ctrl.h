@@ -1,0 +1,21 @@
+// SoC control block: chip id plus general-purpose scratch registers
+// (bootstrap mailbox). Scratch registers are the simplest possible S_pers
+// members — fully persistent and attacker-readable.
+// Offsets: 0 CHIPID (RO), 1 SCRATCH0, 2 SCRATCH1.
+#pragma once
+
+#include <string>
+
+#include "soc/periph.h"
+
+namespace upec::soc {
+
+inline constexpr std::uint32_t kChipId = 0x51E77E51u;
+
+struct SocCtrlOut {
+  SlaveIf slave;
+};
+
+SocCtrlOut build_soc_ctrl(Builder& b, const std::string& name, const BusReq& bus);
+
+} // namespace upec::soc

@@ -1,0 +1,33 @@
+#include "soc/sram.h"
+
+namespace upec::soc {
+
+SramOut build_sram(Builder& b, const std::string& name, const Region& region,
+                   std::uint32_t words, const BusReq& bus) {
+  Builder::Scope scope(b, name);
+  SramOut out;
+
+  const rtlir::MemHandle mem = b.memory("mem", words, kDataBits);
+  out.mem_index = mem.index;
+  const unsigned aw = b.mem_addr_width(mem);
+
+  // Word index within the bank. The region is bank-aligned, so the low
+  // address bits select the word directly.
+  const NetId word = b.slice(bus.addr, 2 + aw - 1, 2);
+  (void)region;
+
+  // Synchronous write.
+  const NetId wen = b.and_(bus.req, bus.we);
+  b.mem_write(mem, word, bus.wdata, wen);
+
+  // Synchronous read: data registered, valid next cycle (read-first on
+  // simultaneous write to the same word). Writes are posted — no response —
+  // so read and write completions can never alias on the return path.
+  const NetId rdata_now = b.mem_read(mem, word);
+  const NetId ren = b.and_(bus.req, b.not_(bus.we));
+  out.slave.rdata = b.pipe("rdata_q", rdata_now, ren);
+  out.slave.rvalid = b.pipe("rvalid_q", ren);
+  return out;
+}
+
+} // namespace upec::soc

@@ -1,0 +1,22 @@
+// Single-port synchronous SRAM bank (TCDM-style): accepts one access per
+// cycle (arbitration upstream), write-through on `we`, read data registered
+// and valid the following cycle. Word addressed; sub-word region offsets are
+// byte addresses with the low two bits ignored.
+#pragma once
+
+#include <string>
+
+#include "soc/addr_map.h"
+#include "soc/bus.h"
+
+namespace upec::soc {
+
+struct SramOut {
+  SlaveIf slave;
+  std::uint32_t mem_index = 0; // index of the rtlir memory array
+};
+
+SramOut build_sram(Builder& b, const std::string& name, const Region& region,
+                   std::uint32_t words, const BusReq& bus);
+
+} // namespace upec::soc

@@ -1,0 +1,62 @@
+#include "soc/timer.h"
+
+#include <cassert>
+
+namespace upec::soc {
+
+Timer::Timer(Builder& b, const std::string& name) : name_(name) {
+  Builder::Scope scope(b, name_);
+  en_ = b.reg("en_q", 1);
+  count_ = b.reg("count_q", 32);
+  cmp_ = b.reg("cmp_q", 32);
+  prescale_ = b.reg("prescale_q", 8);
+  prescale_cnt_ = b.reg("prescale_cnt_q", 8);
+  ovf_ = b.reg("ovf_q", 1);
+
+  // Tick when the prescaler wraps; overflow when enabled and count hits CMP.
+  const NetId tick = b.eq(prescale_cnt_.q, prescale_.q);
+  ovf_pulse_ = b.and_all({en_.q, tick, b.eq(count_.q, cmp_.q)});
+}
+
+SlaveIf Timer::slave(Builder& b, const BusReq& bus) {
+  Builder::Scope scope(b, name_);
+  bus_ = periph_decode(b, bus);
+  have_bus_ = true;
+  return periph_response(b, bus_,
+                         {{0, en_.q}, {1, count_.q}, {2, cmp_.q}, {3, prescale_.q}, {4, ovf_.q}});
+}
+
+void Timer::finalize(Builder& b, NetId hw_start_pulse) {
+  assert(have_bus_ && "slave() must run before finalize()");
+  Builder::Scope scope(b, name_);
+
+  const NetId wr_ctrl = reg_wr(b, bus_, 0);
+  const NetId wr_count = reg_wr(b, bus_, 1);
+  const NetId wr_cmp = reg_wr(b, bus_, 2);
+  const NetId wr_presc = reg_wr(b, bus_, 3);
+  const NetId wr_ovf = reg_wr(b, bus_, 4);
+
+  // Enable: software write of CTRL.bit0 or hardware start pulse.
+  NetId en_next = b.mux(wr_ctrl, b.bit(bus_.wdata, 0), en_.q);
+  en_next = b.or_(en_next, hw_start_pulse);
+  b.connect(en_, en_next);
+
+  const NetId tick = b.eq(prescale_cnt_.q, prescale_.q);
+  const NetId presc_next =
+      b.mux(b.or_(tick, wr_presc), b.zero(8), b.add_const(prescale_cnt_.q, 1));
+  b.connect(prescale_cnt_, presc_next, en_.q);
+
+  NetId count_next = b.mux(b.and_(en_.q, tick), b.add_const(count_.q, 1), count_.q);
+  count_next = b.mux(wr_count, bus_.wdata, count_next);
+  b.connect(count_, count_next);
+
+  b.connect(cmp_, bus_.wdata, wr_cmp);
+  b.connect(prescale_, b.trunc(bus_.wdata, 8), wr_presc);
+
+  // Sticky overflow; write-1-to-clear.
+  const NetId clear = b.and_(wr_ovf, b.bit(bus_.wdata, 0));
+  const NetId ovf_next = b.or_(b.and_(ovf_.q, b.not_(clear)), ovf_pulse_);
+  b.connect(ovf_, ovf_next);
+}
+
+} // namespace upec::soc

@@ -1,0 +1,41 @@
+// System timer IP.
+//
+// The timer is the measurement device of the *classic* BUSted attack (Fig. 1
+// of the paper): the attacker arranges for it to be started by an event whose
+// arrival time depends on victim bus contention, then reads COUNT after the
+// context switch. Registers (word offsets within the block):
+//   0 CTRL     bit0: enable (software start/stop)
+//   1 COUNT    free-running count while enabled (read/write)
+//   2 CMP      compare value; reaching it raises the sticky OVF flag
+//   3 PRESCALE 8-bit clock divider
+//   4 OVF      sticky overflow flag; write-1-to-clear
+// A hardware `start` pulse (from the event unit) also sets the enable bit —
+// that is the path the attack uses to avoid CPU involvement in timing.
+#pragma once
+
+#include <string>
+
+#include "soc/periph.h"
+
+namespace upec::soc {
+
+class Timer {
+public:
+  Timer(Builder& b, const std::string& name);
+
+  SlaveIf slave(Builder& b, const BusReq& bus);
+  void finalize(Builder& b, NetId hw_start_pulse);
+
+  // Overflow pulse (single cycle, combinational on current state).
+  NetId ovf_pulse() const { return ovf_pulse_; }
+  NetId count_q() const { return count_.q; }
+
+private:
+  std::string name_;
+  rtlir::RegHandle en_, count_, cmp_, prescale_, prescale_cnt_, ovf_;
+  NetId ovf_pulse_ = kNullNet;
+  PeriphBus bus_;
+  bool have_bus_ = false;
+};
+
+} // namespace upec::soc

@@ -1,0 +1,32 @@
+#include "soc/uart.h"
+
+namespace upec::soc {
+
+UartOut build_uart(Builder& b, const std::string& name, const BusReq& bus) {
+  Builder::Scope scope(b, name);
+  const PeriphBus p = periph_decode(b, bus);
+
+  rtlir::RegHandle baud = b.reg("baud_q", 16, 1);
+  rtlir::RegHandle txdata = b.reg("txdata_q", 8);
+  rtlir::RegHandle busy_cnt = b.reg("busy_cnt_q", 16);
+
+  const NetId busy = b.ne_const(busy_cnt.q, 0);
+  const NetId start = b.and_(reg_wr(b, p, 0), b.not_(busy));
+
+  b.connect(baud, b.trunc(p.wdata, 16), reg_wr(b, p, 2));
+  b.connect(txdata, b.trunc(p.wdata, 8), start);
+
+  // One frame ≈ 8 baud periods (start/stop abstracted into the shift count).
+  const NetId frame_len = b.shl(baud.q, b.constant(4, 3));
+  NetId cnt_next = b.mux(busy, b.sub(busy_cnt.q, b.one(16)), busy_cnt.q);
+  cnt_next = b.mux(start, frame_len, cnt_next);
+  b.connect(busy_cnt, cnt_next);
+
+  UartOut u;
+  // TX line: LSB of the byte while busy, idle-high otherwise.
+  u.tx = b.mux(busy, b.bit(txdata.q, 0), b.one(1));
+  u.slave = periph_response(b, p, {{0, txdata.q}, {1, busy}, {2, baud.q}});
+  return u;
+}
+
+} // namespace upec::soc

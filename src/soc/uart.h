@@ -1,0 +1,20 @@
+// UART transmitter front-end: enough of a UART to expose the persistent,
+// attacker-readable state (busy countdown, baud divisor, last TX byte) that
+// makes it a potential side-channel recorder.
+// Offsets: 0 TXDATA (write starts a frame), 1 STATUS (bit0 = busy), 2 BAUD.
+#pragma once
+
+#include <string>
+
+#include "soc/periph.h"
+
+namespace upec::soc {
+
+struct UartOut {
+  SlaveIf slave;
+  NetId tx = kNullNet; // serialized line (level only; framing abstracted)
+};
+
+UartOut build_uart(Builder& b, const std::string& name, const BusReq& bus);
+
+} // namespace upec::soc

@@ -1,0 +1,91 @@
+#include "soc/xbar.h"
+
+#include <cassert>
+
+namespace upec::soc {
+
+Xbar::Xbar(Builder& b, const std::string& name, std::vector<BusReq> masters,
+           std::vector<Region> slave_regions, ArbiterKind arbiter)
+    : b_(b), name_(name), masters_(std::move(masters)), regions_(std::move(slave_regions)) {
+  Builder::Scope scope(b_, name_);
+  const std::size_t nm = masters_.size();
+  const std::size_t ns = regions_.size();
+
+  while ((1u << sel_bits_) < nm) ++sel_bits_;
+
+  // Address decode: want[m][s] = master m requests an address in region s.
+  std::vector<std::vector<NetId>> want(nm, std::vector<NetId>(ns));
+  for (std::size_t m = 0; m < nm; ++m) {
+    for (std::size_t s = 0; s < ns; ++s) {
+      const Region& r = regions_[s];
+      const NetId ge = b_.uge(masters_[m].addr, b_.constant(kAddrBits, r.base));
+      const NetId lt = b_.ult(masters_[m].addr, b_.constant(kAddrBits, r.end()));
+      want[m][s] = b_.and_all({masters_[m].req, ge, lt});
+    }
+  }
+
+  // Per-slave fixed-priority arbitration, request merge, and a registered
+  // request stage (TCDM-style elastic slice): the winning request is latched
+  // and presented to the slave one cycle after the grant. These latches are
+  // the "buffers in the interconnect which are overwritten with every
+  // communication transaction" of Sec 3.4 — the first place victim-dependent
+  // differences land, and never part of S_pers.
+  grant_.assign(nm, std::vector<NetId>(ns));
+  for (std::size_t s = 0; s < ns; ++s) {
+    std::vector<NetId> reqs(nm);
+    for (std::size_t m = 0; m < nm; ++m) reqs[m] = want[m][s];
+    const ArbiterResult arb =
+        arbiter == ArbiterKind::FixedPriority
+            ? priority_arbiter(b_, reqs)
+            : round_robin_arbiter(b_, "arb_s" + std::to_string(s), reqs);
+    for (std::size_t m = 0; m < nm; ++m) grant_[m][s] = arb.grant[m];
+
+    const BusReq merged = select_request(b_, masters_, arb.grant);
+
+    Builder::Scope sscope(b_, "s" + std::to_string(s));
+    BusReq staged;
+    staged.req = b_.pipe("sreq_q", merged.req);
+    staged.addr = b_.pipe("saddr_q", merged.addr, merged.req);
+    staged.we = b_.pipe("swe_q", merged.we, merged.req);
+    staged.wdata = b_.pipe("swdata_q", merged.wdata, merged.req);
+    slave_req_.push_back(staged);
+
+    // Response routing pipeline, aligned with the slave's registered response
+    // (grant at T, slave access at T+1, rvalid/rdata at T+2).
+    const NetId rsel_valid = b_.pipe("rsel_valid_q", arb.any);
+    const NetId rsel_master = b_.pipe("rsel_master_q", b_.resize(arb.winner, sel_bits_), arb.any);
+    rsel_valid_q_.push_back(b_.pipe("rsel_valid_q2", rsel_valid));
+    rsel_master_q_.push_back(b_.pipe("rsel_master_q2", rsel_master, rsel_valid));
+  }
+  slave_if_.resize(ns);
+}
+
+void Xbar::connect_slave(std::size_t s, const SlaveIf& sif) {
+  assert(s < slave_if_.size());
+  slave_if_[s] = sif;
+}
+
+BusRsp Xbar::master_rsp(std::size_t m) {
+  Builder::Scope scope(b_, name_);
+  BusRsp rsp;
+  // gnt: won arbitration on the addressed slave.
+  std::vector<NetId> gnts;
+  for (std::size_t s = 0; s < regions_.size(); ++s) gnts.push_back(grant_[m][s]);
+  rsp.gnt = b_.or_all(gnts);
+
+  // rvalid/rdata: a slave responded and the response-select points at us.
+  NetId rvalid = b_.zero(1);
+  NetId rdata = b_.zero(kDataBits);
+  for (std::size_t s = 0; s < regions_.size(); ++s) {
+    assert(slave_if_[s].rvalid != kNullNet && "slave not connected");
+    const NetId mine = b_.eq_const(rsel_master_q_[s], m);
+    const NetId hit = b_.and_all({slave_if_[s].rvalid, rsel_valid_q_[s], mine});
+    rvalid = b_.or_(rvalid, hit);
+    rdata = b_.mux(hit, slave_if_[s].rdata, rdata);
+  }
+  rsp.rvalid = rvalid;
+  rsp.rdata = rdata;
+  return rsp;
+}
+
+} // namespace upec::soc

@@ -1,0 +1,56 @@
+// Crossbar interconnect: N masters × M address-decoded slaves with
+// per-slave fixed-priority arbitration and one-cycle response routing.
+//
+// Construction is two-phase because slaves are built by their own modules:
+//   Xbar xb(b, "xbar_pub", masters, slave_regions);
+//   SlaveIf s0 = build_sram(b, ..., xb.slave_req(0));
+//   xb.connect_slave(0, s0);
+//   ...
+//   BusRsp cpu_rsp = xb.master_rsp(0);   // after all slaves connected
+//
+// State held by the crossbar (response-select registers) is the canonical
+// example of *transient* interconnect state in the paper's Sec 3.4: it is
+// overwritten by every transaction and therefore not part of S_pers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "soc/addr_map.h"
+#include "soc/arbiter.h"
+
+namespace upec::soc {
+
+class Xbar {
+public:
+  Xbar(Builder& b, const std::string& name, std::vector<BusReq> masters,
+       std::vector<Region> slave_regions, ArbiterKind arbiter = ArbiterKind::FixedPriority);
+
+  std::size_t num_masters() const { return masters_.size(); }
+  std::size_t num_slaves() const { return regions_.size(); }
+
+  // Merged (post-arbitration) request presented to slave `s`.
+  const BusReq& slave_req(std::size_t s) const { return slave_req_[s]; }
+
+  void connect_slave(std::size_t s, const SlaveIf& sif);
+
+  // Response bundle for master `m`; requires all slaves connected.
+  BusRsp master_rsp(std::size_t m);
+
+  // Grant for master m on slave s (diagnostic probes).
+  NetId grant(std::size_t m, std::size_t s) const { return grant_[m][s]; }
+
+private:
+  Builder& b_;
+  std::string name_;
+  std::vector<BusReq> masters_;
+  std::vector<Region> regions_;
+  std::vector<BusReq> slave_req_;
+  std::vector<SlaveIf> slave_if_;
+  std::vector<std::vector<NetId>> grant_;  // [master][slave]
+  std::vector<NetId> rsel_valid_q_;        // [slave] response pending
+  std::vector<NetId> rsel_master_q_;       // [slave] responding master index
+  unsigned sel_bits_ = 1;
+};
+
+} // namespace upec::soc

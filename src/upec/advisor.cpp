@@ -1,0 +1,118 @@
+#include "upec/advisor.h"
+
+#include <map>
+#include <sstream>
+
+namespace upec {
+
+const char* mitigation_name(MitigationKind kind) {
+  switch (kind) {
+    case MitigationKind::PrivateMemoryMapping: return "private-memory mapping";
+    case MitigationKind::FirmwareConstraints: return "firmware constraints";
+    case MitigationKind::HardwareGuard: return "hardware access guard";
+    case MitigationKind::ClearOnContextSwitch: return "clear state on context switch";
+    case MitigationKind::TimerAccessControl: return "timer access control";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string subsystem_of(const std::string& name) {
+  // "soc.<block>.<reg>" or "soc.<mem>[w]" -> "<block>".
+  const std::size_t first = name.find('.');
+  if (first == std::string::npos) return name;
+  std::size_t second = name.find_first_of(".[", first + 1);
+  if (second == std::string::npos) second = name.size();
+  return name.substr(first + 1, second - first - 1);
+}
+
+} // namespace
+
+std::vector<Suggestion> advise(const UpecContext& ctx,
+                               const std::vector<rtlir::StateVarId>& persistent_hits) {
+  std::map<std::string, std::vector<rtlir::StateVarId>> by_subsystem;
+  for (rtlir::StateVarId sv : persistent_hits) {
+    by_subsystem[subsystem_of(ctx.svt.name(sv))].push_back(sv);
+  }
+
+  std::vector<Suggestion> out;
+  for (auto& [subsystem, evidence] : by_subsystem) {
+    Suggestion s;
+    s.subsystem = subsystem;
+    s.evidence = evidence;
+    if (subsystem == "pub_ram" || subsystem == "priv_ram") {
+      s.kind = MitigationKind::PrivateMemoryMapping;
+      s.rationale =
+          "victim-dependent data reaches attacker-readable memory words via IP "
+          "write progress; isolating the victim's region on its own memory "
+          "device removes the shared arbitration point (Sec 4.2)";
+      s.how_to_apply =
+          "MacroConfig::victim_regions = {AddrMap::kPrivRam} "
+          "(countermeasure_options()), plus constraints for IPs that can still "
+          "reach the private crossbar";
+    } else if (subsystem == "dma") {
+      s.kind = MitigationKind::FirmwareConstraints;
+      s.rationale =
+          "the DMA's status/progress registers record completion timing that "
+          "victim contention modulates; restricting its legal configurations "
+          "keeps it off the protected path";
+      s.how_to_apply =
+          "MacroConfig::firmware_constraints = true (legal SRC/DST windows, "
+          "write legality); hardware alternative: SocConfig::hw_private_guard";
+    } else if (subsystem == "hwpe") {
+      s.kind = MitigationKind::FirmwareConstraints;
+      s.rationale =
+          "the accelerator's overwrite progress is the timer-free recording "
+          "medium of the Sec 4.1 attack; its reach must exclude memory shared "
+          "with victim traffic, or its progress state must be scrubbed";
+      s.how_to_apply =
+          "constrain HWPE DST/LEN windows as firmware constraints, or apply "
+          "the private-memory mapping so victim traffic never shares its bank";
+    } else if (subsystem == "timer") {
+      s.kind = MitigationKind::TimerAccessControl;
+      s.rationale =
+          "timer state records event timing; note Sec 4.1: denying timer "
+          "access does NOT remove the accelerator+memory variant, so this "
+          "mitigation is insufficient alone";
+      s.how_to_apply =
+          "deny TIMER register access to untrusted tasks and combine with the "
+          "private-memory mapping";
+    } else if (subsystem == "event") {
+      s.kind = MitigationKind::ClearOnContextSwitch;
+      s.rationale =
+          "sticky event-pending bits persist across the context switch and "
+          "encode completion ordering";
+      s.how_to_apply =
+          "have the context-switch handler clear EVENT.PENDING (W1C) before "
+          "yielding to untrusted tasks";
+    } else {
+      s.kind = MitigationKind::ClearOnContextSwitch;
+      s.rationale = "persistent state outside the cataloged IPs; scrub or gate it";
+      s.how_to_apply = "inspect the named registers and add a switch-time clear";
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string render_advice(const UpecContext& ctx, const std::vector<Suggestion>& suggestions) {
+  std::ostringstream os;
+  if (suggestions.empty()) {
+    os << "no persistent sinks: nothing to mitigate\n";
+    return os.str();
+  }
+  os << "countermeasure suggestions (UPEC-SSC driven, " << suggestions.size()
+     << " subsystem(s) affected):\n";
+  for (const Suggestion& s : suggestions) {
+    os << "  [" << s.subsystem << "] " << mitigation_name(s.kind) << "\n";
+    os << "      why:   " << s.rationale << "\n";
+    os << "      apply: " << s.how_to_apply << "\n";
+    os << "      evidence:";
+    for (rtlir::StateVarId sv : s.evidence) os << ' ' << ctx.svt.name(sv);
+    os << "\n";
+  }
+  return os.str();
+}
+
+} // namespace upec

@@ -1,0 +1,56 @@
+// Countermeasure advisor: a prototype of the "UPEC-SCC driven design
+// methodology" the paper's conclusion proposes as future work.
+//
+// Given a vulnerable verification result, the advisor maps each persistent
+// sink in the counterexample to the mitigation classes the case study
+// developed, producing an actionable report:
+//   - memory words            → map the security-critical region into an
+//                                access-restricted memory device (Sec 4.2)
+//   - DMA/HWPE configuration  → firmware-constrain the IP's legal
+//     and progress state         configurations; or clear its observable
+//                                state on context switch
+//   - timer state             → deny/fuzz timer access (noting Sec 4.1's
+//                                caveat: this does not stop the timer-free
+//                                variant)
+//   - event-unit state        → clear pending events on context switch
+//   - arbitration pointers    → reset arbitration state on context switch
+//
+// Each suggestion names the concrete SoC option or constraint in this
+// repository that implements it, so the advised fix can be re-verified
+// immediately (advise → apply → re-run Alg. 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "upec/alg1.h"
+#include "upec/engine.h"
+
+namespace upec {
+
+enum class MitigationKind : std::uint8_t {
+  PrivateMemoryMapping, // move the victim region behind the private crossbar
+  FirmwareConstraints,  // restrict the IP's legal configurations
+  HardwareGuard,        // physically cut the IP off the protected crossbar
+  ClearOnContextSwitch, // scrub the IP's observable state at switches
+  TimerAccessControl,   // deny/fuzz timers (insufficient alone, see Sec 4.1)
+};
+
+const char* mitigation_name(MitigationKind kind);
+
+struct Suggestion {
+  MitigationKind kind;
+  std::string subsystem;                     // e.g. "hwpe", "pub_ram"
+  std::vector<rtlir::StateVarId> evidence;   // the persistent hits behind it
+  std::string rationale;
+  std::string how_to_apply;                  // concrete option in this repo
+};
+
+// Analyzes a vulnerable Alg. 1/Alg. 2 outcome; returns an empty list for
+// secure/unknown results.
+std::vector<Suggestion> advise(const UpecContext& ctx,
+                               const std::vector<rtlir::StateVarId>& persistent_hits);
+
+std::string render_advice(const UpecContext& ctx, const std::vector<Suggestion>& suggestions);
+
+} // namespace upec

@@ -1,0 +1,67 @@
+// Algorithm 1 of the paper: the UPEC-SSC fixed-point procedure over the
+// 2-cycle property of Fig. 3.
+//
+//   S ← S_¬victim
+//   loop:
+//     S_cex ← check(UPEC-SSC(S))
+//     if S_cex = ∅            → secure   (S is inductive: unbounded validity)
+//     if S_cex ∩ S_pers ≠ ∅   → vulnerable, report S_cex
+//     else                     → S ← S \ S_cex
+//
+// Checks are incremental: the transition relation and all difference/equality
+// literals are encoded once; each iteration only swaps the assumption set and
+// the violation clause.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ipc/cex.h"
+#include "ipc/engine.h"
+#include "upec/state_sets.h"
+
+namespace upec {
+
+class UpecContext;
+
+enum class Verdict : std::uint8_t { Secure, Vulnerable, Unknown };
+const char* verdict_name(Verdict v);
+
+struct IterationLog {
+  std::size_t s_size = 0;       // |S| entering the iteration
+  std::size_t cex_size = 0;     // |S_cex|
+  std::size_t pers_hits = 0;    // |S_cex ∩ S_pers|
+  double seconds = 0.0;
+  std::uint64_t conflicts = 0;
+  ipc::CheckStatus status = ipc::CheckStatus::Unknown;
+  std::vector<rtlir::StateVarId> removed;
+};
+
+struct Alg1Result {
+  Verdict verdict = Verdict::Unknown;
+  std::vector<IterationLog> iterations;
+  // Vulnerable: the persistent state variables the victim can influence.
+  std::vector<rtlir::StateVarId> persistent_hits;
+  std::vector<rtlir::StateVarId> full_cex;
+  std::optional<ipc::Waveform> waveform;
+  // Secure: the final inductive set (S_pers ⊆ S ⊆ S_¬victim).
+  StateSet final_s;
+  double total_seconds = 0.0;
+};
+
+struct Alg1Options {
+  unsigned max_iterations = 1000;
+  bool extract_waveform = true;
+  // Saturate each counterexample: within one iteration, re-solve until no
+  // *new* state variable can differ, and remove the union. Iterations then
+  // count propagation depth (the paper's granularity) rather than individual
+  // solver models.
+  bool saturate_cex = true;
+  // Optional initial S (defaults to S_¬victim); Alg. 2's closing induction
+  // passes its converged S[k] here.
+  std::optional<StateSet> initial_s;
+};
+
+Alg1Result run_alg1(UpecContext& ctx, const Alg1Options& options = {});
+
+} // namespace upec

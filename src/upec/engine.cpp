@@ -1,0 +1,61 @@
+#include "upec/engine.h"
+
+namespace upec {
+
+UpecContext::UpecContext(const soc::Soc& s, VerifyOptions opts)
+    : soc(s),
+      options(std::move(opts)),
+      svt(*s.design),
+      solver(),
+      miter(solver, *s.design, svt,
+            encode::MiterOptions{.per_instance = soc::Soc::is_cpu_interface,
+                                 .shared_prefix = false}),
+      macros(miter, s, options.macros),
+      pers(svt, s),
+      engine(solver),
+      s_pers(StateSet::none(svt)) {
+  miter.set_exempt(
+      [this](encode::Miter& m, rtlir::StateVarId sv) { return macros.exempt_for(m, sv); });
+  solver.set_conflict_budget(options.conflict_budget);
+
+  StateSet base = pers.s_pers();
+  for (rtlir::StateVarId sv : base.to_vector()) {
+    if (!options.s_pers_filter || options.s_pers_filter(sv)) s_pers.insert(sv);
+  }
+}
+
+std::vector<std::string> UpecContext::waveform_probes() const {
+  return {soc::probe::kCpuGnt,       soc::probe::kHwpeProgress, soc::probe::kHwpeBusy,
+          soc::probe::kHwpeGntPub,   soc::probe::kDmaBusy,      soc::probe::kTimerCount,
+          soc::probe::kEventPending};
+}
+
+void UpecContext::touch_probes(unsigned max_frame) {
+  for (const std::string& name : waveform_probes()) {
+    const rtlir::NetId net = soc.design->find_output(name);
+    if (net == rtlir::kNullNet) continue;
+    for (unsigned f = 0; f <= max_frame; ++f) {
+      miter.inst_a().net_at(f, net);
+      miter.inst_b().net_at(f, net);
+    }
+  }
+}
+
+Alg1Result verify_2cycle(const soc::Soc& soc, VerifyOptions options, const Alg1Options& alg) {
+  UpecContext ctx(soc, std::move(options));
+  return run_alg1(ctx, alg);
+}
+
+Alg2Result verify_unrolled(const soc::Soc& soc, VerifyOptions options, const Alg2Options& alg) {
+  UpecContext ctx(soc, std::move(options));
+  return run_alg2(ctx, alg);
+}
+
+VerifyOptions countermeasure_options() {
+  VerifyOptions options;
+  options.macros.victim_regions = {soc::AddrMap::kPrivRam};
+  options.macros.firmware_constraints = true;
+  return options;
+}
+
+} // namespace upec

@@ -1,0 +1,63 @@
+// UpecContext: assembles the full UPEC-SSC verification stack for one SoC —
+// miter, macros, persistence classification, IPC engine — and owns the
+// verification entry points used by examples, tests and benchmarks.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "encode/miter.h"
+#include "ipc/engine.h"
+#include "soc/pulpissimo.h"
+#include "upec/alg1.h"
+#include "upec/alg2.h"
+#include "upec/macros.h"
+#include "upec/persistence.h"
+
+namespace upec {
+
+struct VerifyOptions {
+  MacroConfig macros;
+  // Abort a single check after this many conflicts (0 = no limit).
+  std::uint64_t conflict_budget = 0;
+  // Optional restriction of S_pers (e.g. "only the HWPE and public RAM" to
+  // steer Alg. 1 toward a specific attack scenario in the case study).
+  std::function<bool(rtlir::StateVarId)> s_pers_filter;
+};
+
+class UpecContext {
+public:
+  UpecContext(const soc::Soc& soc, VerifyOptions options = {});
+
+  const soc::Soc& soc;
+  VerifyOptions options;
+  rtlir::StateVarTable svt;
+  sat::Solver solver;
+  encode::Miter miter;
+  SsMacros macros;
+  PersistenceClassifier pers;
+  ipc::Engine engine;
+  StateSet s_pers; // after filtering
+
+  bool in_s_pers(rtlir::StateVarId sv) const { return s_pers.contains(sv); }
+
+  // Probe names extracted into counterexample waveforms.
+  std::vector<std::string> waveform_probes() const;
+
+  // Pre-encodes the probe images for frames 0..max_frame in both instances.
+  // Waveform extraction happens after the solve; any image created later
+  // would read back arbitrary values, so probes must be in the CNF up front.
+  void touch_probes(unsigned max_frame);
+};
+
+// Convenience wrappers: build a context and run the respective procedure.
+Alg1Result verify_2cycle(const soc::Soc& soc, VerifyOptions options = {},
+                         const Alg1Options& alg = {});
+Alg2Result verify_unrolled(const soc::Soc& soc, VerifyOptions options = {},
+                           const Alg2Options& alg = {});
+
+// The configuration used for the secured SoC of Sec 4.2: victim range mapped
+// into the private RAM and DMA firmware constraints enabled.
+VerifyOptions countermeasure_options();
+
+} // namespace upec

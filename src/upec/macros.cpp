@@ -1,0 +1,225 @@
+#include "upec/macros.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace upec {
+
+using encode::Bits;
+using encode::Lit;
+
+namespace {
+
+std::uint32_t find_input(const rtlir::Design& d, const std::string& name) {
+  for (std::uint32_t i = 0; i < d.inputs().size(); ++i) {
+    if (d.net(d.inputs()[i].net).name == name) return i;
+  }
+  throw std::runtime_error("missing input: " + name);
+}
+
+} // namespace
+
+SsMacros::SsMacros(encode::Miter& miter, const soc::Soc& soc, MacroConfig config)
+    : miter_(miter), soc_(soc), config_(std::move(config)) {
+  const rtlir::Design& d = *soc.design;
+  in_req_ = find_input(d, "soc.cpu.req");
+  in_addr_ = find_input(d, "soc.cpu.addr");
+  in_we_ = find_input(d, "soc.cpu.we");
+  in_wdata_ = find_input(d, "soc.cpu.wdata");
+  in_vlo_ = find_input(d, "soc.spec.victim_lo");
+  in_vhi_ = find_input(d, "soc.spec.victim_hi");
+}
+
+const Bits& SsMacros::victim_lo() { return miter_.inst_a().input_at(0, in_vlo_); }
+const Bits& SsMacros::victim_hi() { return miter_.inst_a().input_at(0, in_vhi_); }
+
+Lit SsMacros::in_victim(const Bits& addr) {
+  encode::CnfBuilder& cnf = miter_.cnf();
+  const Lit ge = ~cnf.v_ult(addr, victim_lo());
+  const Lit le = ~cnf.v_ult(victim_hi(), addr);
+  return cnf.and2(ge, le);
+}
+
+Lit SsMacros::exempt_for(encode::Miter& m, rtlir::StateVarId sv) {
+  // Memory words whose byte address may fall inside the symbolic victim
+  // range; everything else is never exempt (Def. 1: only victim *memory* is
+  // excluded from S_¬victim membership reasoning).
+  const rtlir::StateVar& v = m.state_vars().var(sv);
+  if (v.kind != rtlir::StateVar::Kind::MemWord) return m.cnf().lit_false();
+  const std::int64_t byte_addr = soc_.word_address(v.index, v.word);
+  if (byte_addr < 0) return m.cnf().lit_false();
+  return in_victim(m.cnf().constant_vec(BitVec(32, static_cast<std::uint64_t>(byte_addr))));
+}
+
+SsMacros::CpuIf SsMacros::cpu_if(encode::UnrolledInstance& inst, unsigned frame) {
+  CpuIf c;
+  c.req = inst.input_at(frame, in_req_);
+  c.addr = inst.input_at(frame, in_addr_);
+  c.we = inst.input_at(frame, in_we_);
+  c.wdata = inst.input_at(frame, in_wdata_);
+  return c;
+}
+
+Lit SsMacros::vte_frame(unsigned frame) {
+  if (frame < vte_cache_.size() && !(vte_cache_[frame] == Lit::undef())) {
+    return vte_cache_[frame];
+  }
+  encode::CnfBuilder& cnf = miter_.cnf();
+  const CpuIf a = cpu_if(miter_.inst_a(), frame);
+  const CpuIf b = cpu_if(miter_.inst_b(), frame);
+
+  // Accesses to the protected (victim) range are free; everything else must
+  // match between the instances.
+  const Lit pa = cnf.and2(a.req[0], in_victim(a.addr));
+  const Lit pb = cnf.and2(b.req[0], in_victim(b.addr));
+  const Lit na = cnf.and2(a.req[0], ~pa); // non-protected access in A
+  const Lit nb = cnf.and2(b.req[0], ~pb);
+
+  const Lit same_kind = cnf.xnor2(na, nb);
+  const Lit payload_eq = cnf.and_all({cnf.v_eq(a.addr, b.addr), cnf.xnor2(a.we[0], b.we[0]),
+                                      cnf.v_eq(a.wdata, b.wdata)});
+  const Lit both = cnf.and2(na, nb);
+  const Lit body = cnf.and2(same_kind, cnf.or2(~both, payload_eq));
+
+  if (vte_cache_.size() <= frame) vte_cache_.resize(frame + 1, Lit::undef());
+  vte_cache_[frame] = body;
+  return body;
+}
+
+Lit SsMacros::inputs_equal_frame(unsigned frame) {
+  if (frame < eq_cache_.size() && !(eq_cache_[frame] == Lit::undef())) return eq_cache_[frame];
+  encode::CnfBuilder& cnf = miter_.cnf();
+  const CpuIf a = cpu_if(miter_.inst_a(), frame);
+  const CpuIf b = cpu_if(miter_.inst_b(), frame);
+  const Lit body =
+      cnf.and_all({cnf.xnor2(a.req[0], b.req[0]), cnf.v_eq(a.addr, b.addr),
+                   cnf.xnor2(a.we[0], b.we[0]), cnf.v_eq(a.wdata, b.wdata)});
+  if (eq_cache_.size() <= frame) eq_cache_.resize(frame + 1, Lit::undef());
+  eq_cache_[frame] = body;
+  return body;
+}
+
+Lit SsMacros::spec_wellformed() {
+  if (have_spec_) return spec_lit_;
+  encode::CnfBuilder& cnf = miter_.cnf();
+  const Bits& lo = victim_lo();
+  const Bits& hi = victim_hi();
+  const Lit ordered = ~cnf.v_ult(hi, lo);
+  // The whole range must lie within one of the allowed RAM regions.
+  Bits region_ok;
+  for (const std::string& rname : config_.victim_regions) {
+    const soc::Region& r = soc_.map.region(rname);
+    const Lit lo_ok = ~cnf.v_ult(lo, cnf.constant_vec(BitVec(32, r.base)));
+    const Lit hi_ok = cnf.v_ult(hi, cnf.constant_vec(BitVec(32, r.end())));
+    region_ok.push_back(cnf.and2(lo_ok, hi_ok));
+  }
+  spec_lit_ = cnf.and2(ordered, cnf.or_all(region_ok));
+  have_spec_ = true;
+  return spec_lit_;
+}
+
+std::vector<Lit> SsMacros::firmware_constraint_lits(unsigned k) {
+  std::vector<Lit> lits;
+  encode::CnfBuilder& cnf = miter_.cnf();
+  const rtlir::Design& d = *soc_.design;
+  const soc::Region& pub = soc_.map.region(soc::AddrMap::kPubRam);
+  const soc::Region& dma = soc_.map.region(soc::AddrMap::kDma);
+
+  // A DMA pointer is legal if no address it can generate (pointer + up to
+  // 2^16 words of offset) reaches the private RAM: either it lies in the
+  // public RAM (whose addresses are far above the private bank) or it is
+  // small enough that the maximum offset still falls short of the private
+  // base. The reset value 0 is legal, which keeps the invariant inductive.
+  const soc::Region& priv = soc_.map.region(soc::AddrMap::kPrivRam);
+  const std::uint32_t safe_low = priv.base - (0x10000u << 2);
+  auto legal_dma_ptr = [&](const Bits& v) {
+    const Lit below = cnf.v_ult(v, cnf.constant_vec(BitVec(32, safe_low)));
+    const Lit ge = ~cnf.v_ult(v, cnf.constant_vec(BitVec(32, pub.base)));
+    const Lit lt = cnf.v_ult(v, cnf.constant_vec(BitVec(32, pub.end())));
+    return cnf.or2(below, cnf.and2(ge, lt));
+  };
+
+  // Decode-accurate "write to the DMA SRC or DST register": the peripheral
+  // decodes the word offset addr[5:2] after region selection, so both parts
+  // must appear in the predicate (an address outside the region can share the
+  // offset bits; an address inside it with offset >= 2 hits other registers).
+  // `check_region` is set for CPU-interface addresses (the crossbar selects
+  // the DMA slave by region) and cleared for the already-staged request in
+  // front of the DMA (the peripheral itself only decodes the offset, so the
+  // constraint must cover every state the decode can fire from).
+  auto dma_cfg_write = [&](const Bits& req, const Bits& we, const Bits& addr,
+                           bool check_region) {
+    const Bits off = cnf.v_slice(addr, 2, 4);
+    const Lit off01 = cnf.or2(cnf.v_eq(off, cnf.constant_vec(BitVec(4, 0))),
+                              cnf.v_eq(off, cnf.constant_vec(BitVec(4, 1))));
+    Lit hit = cnf.and_all({req[0], we[0], off01});
+    if (check_region) {
+      const Lit in_region =
+          cnf.and2(~cnf.v_ult(addr, cnf.constant_vec(BitVec(32, dma.base))),
+                   cnf.v_ult(addr, cnf.constant_vec(BitVec(32, dma.end()))));
+      hit = cnf.and2(hit, in_region);
+    }
+    return hit;
+  };
+
+  const std::int64_t src_reg = d.find_register("soc.dma.src_q");
+  const std::int64_t dst_reg = d.find_register("soc.dma.dst_q");
+  const std::int64_t rsel1 = d.find_register("soc.xbar_priv.s0.rsel_master_q");
+  const std::int64_t rsel2 = d.find_register("soc.xbar_priv.s0.rsel_master_q2");
+  // Staged request registers of the crossbar slice in front of the DMA's
+  // configuration port: a configuration write is in flight for one cycle.
+  const std::int64_t cfg_req = d.find_register("soc.xbar_pub.s3.sreq_q");
+  const std::int64_t cfg_addr = d.find_register("soc.xbar_pub.s3.saddr_q");
+  const std::int64_t cfg_we = d.find_register("soc.xbar_pub.s3.swe_q");
+  const std::int64_t cfg_wdata = d.find_register("soc.xbar_pub.s3.swdata_q");
+  assert(src_reg >= 0 && dst_reg >= 0 && rsel1 >= 0 && rsel2 >= 0);
+  assert(cfg_req >= 0 && cfg_addr >= 0 && cfg_we >= 0 && cfg_wdata >= 0);
+
+  for (encode::UnrolledInstance* inst : {&miter_.inst_a(), &miter_.inst_b()}) {
+    // Legal DMA configuration at t: source and destination windows lie in the
+    // public RAM. (These are the "set of legal configurations ... compiled as
+    // firmware constraints" of Sec 4.2.)
+    lits.push_back(legal_dma_ptr(inst->reg_at(0, static_cast<std::uint32_t>(src_reg))));
+    lits.push_back(legal_dma_ptr(inst->reg_at(0, static_cast<std::uint32_t>(dst_reg))));
+    // Derived interconnect invariant: the private crossbar's response routing
+    // never points at the DMA (master index 1). Inductive given the legal
+    // configurations — discharged by the invariant side-proof in the tests.
+    lits.push_back(~inst->reg_at(0, static_cast<std::uint32_t>(rsel1))[0]);
+    lits.push_back(~inst->reg_at(0, static_cast<std::uint32_t>(rsel2))[0]);
+    // In-flight configuration writes (already latched in the interconnect at
+    // t) must be legal as well — otherwise legality at t would not survive to
+    // t+1 and the induction would be unsound.
+    {
+      const Bits req = inst->reg_at(0, static_cast<std::uint32_t>(cfg_req));
+      const Bits addr = inst->reg_at(0, static_cast<std::uint32_t>(cfg_addr));
+      const Bits we = inst->reg_at(0, static_cast<std::uint32_t>(cfg_we));
+      const Bits wdata = inst->reg_at(0, static_cast<std::uint32_t>(cfg_wdata));
+      lits.push_back(cnf.or2(~dma_cfg_write(req, we, addr, false), legal_dma_ptr(wdata)));
+    }
+
+    // Firmware legality of *writes*: the CPU never stores an illegal value to
+    // the DMA SRC/DST registers (checked during firmware development; needed
+    // so legality at t is maintained at t+1 — the induction step).
+    for (unsigned f = 0; f < k; ++f) {
+      const CpuIf c = cpu_if(*inst, f);
+      lits.push_back(cnf.or2(~dma_cfg_write(c.req, c.we, c.addr, true), legal_dma_ptr(c.wdata)));
+    }
+  }
+  return lits;
+}
+
+std::vector<Lit> SsMacros::assumptions(unsigned k) {
+  std::vector<Lit> lits;
+  lits.push_back(spec_wellformed());
+  for (unsigned f = 0; f < k; ++f) {
+    // Inputs at frame f feed the transition f -> f+1. The victim window
+    // covers the first `vte_frames` sampling points ("during t..t+1").
+    lits.push_back(f < config_.vte_frames ? vte_frame(f) : inputs_equal_frame(f));
+  }
+  if (config_.firmware_constraints) {
+    for (Lit l : firmware_constraint_lits(k)) lits.push_back(l);
+  }
+  return lits;
+}
+
+} // namespace upec

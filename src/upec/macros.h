@@ -1,0 +1,93 @@
+// The UPEC-SSC property macros (Fig. 3 / Fig. 4 of the paper), instantiated
+// for the Pulpissimo-style SoC:
+//
+//  * Primary_Input_Constraints(): non-CPU inputs are shared between the two
+//    miter instances (enforced structurally by the miter with zero clauses);
+//    CPU-interface inputs are equal outside the victim window.
+//
+//  * Victim_Task_Executing(): during the victim window (frames 0..1, per the
+//    paper's "during t..t+1"), the two instances perform identical accesses
+//    to non-protected addresses, while accesses to protected addresses — the
+//    symbolic victim range [victim_lo, victim_hi] — are unconstrained and may
+//    differ. Only protected accesses are confidential information. The range
+//    itself is a pair of shared stable inputs constrained to lie inside the
+//    RAM regions the scenario allows (any RAM for the baseline SoC; the
+//    private RAM only, once the Sec 4.2 countermeasure maps the
+//    security-critical region there).
+//
+//  * State_Equivalence(S): per-state-variable activation literals from the
+//    miter; memory words carry an exemption condition "word address inside
+//    the victim range" so victim-allocated memory (Def. 1 (2)) is never
+//    constrained equal nor counted as a difference.
+//
+// The firmware constraints of the countermeasure (legal DMA configurations +
+// legality of CPU writes to the DMA configuration registers) and the derived
+// interconnect invariant are also built here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "encode/miter.h"
+#include "soc/pulpissimo.h"
+
+namespace upec {
+
+struct MacroConfig {
+  // Number of leading frames in which the victim's protected accesses may
+  // differ ("during t..t+1" => 2).
+  unsigned vte_frames = 2;
+  // Region names allowed to contain the symbolic victim range.
+  std::vector<std::string> victim_regions = {soc::AddrMap::kPubRam, soc::AddrMap::kPrivRam};
+  // Sec 4.2 countermeasure: restrict DMA configurations to the public RAM and
+  // assume the derived private-crossbar invariant.
+  bool firmware_constraints = false;
+};
+
+class SsMacros {
+public:
+  SsMacros(encode::Miter& miter, const soc::Soc& soc, MacroConfig config);
+
+  // All assumption literals needed for a property window of k transitions
+  // (frames 0..k). Includes VTE, input-equality for post-victim frames, the
+  // victim-range well-formedness constraints, and (if configured) the
+  // firmware constraints.
+  std::vector<encode::Lit> assumptions(unsigned k);
+
+  // Shared image of the symbolic victim range bounds.
+  const encode::Bits& victim_lo();
+  const encode::Bits& victim_hi();
+
+  // Literal: the given 32-bit address image lies inside the victim range.
+  encode::Lit in_victim(const encode::Bits& addr);
+
+  // Exemption hook for the miter (victim-range memory words).
+  encode::Lit exempt_for(encode::Miter& m, rtlir::StateVarId sv);
+
+  const soc::Soc& soc() const { return soc_; }
+
+private:
+  struct CpuIf {
+    encode::Bits req, addr, we, wdata;
+  };
+  CpuIf cpu_if(encode::UnrolledInstance& inst, unsigned frame);
+
+  encode::Lit vte_frame(unsigned frame);        // victim window constraint
+  encode::Lit inputs_equal_frame(unsigned frame); // post-victim equality
+  encode::Lit spec_wellformed();
+  std::vector<encode::Lit> firmware_constraint_lits(unsigned k);
+
+  encode::Miter& miter_;
+  const soc::Soc& soc_;
+  MacroConfig config_;
+
+  std::uint32_t in_req_ = 0, in_addr_ = 0, in_we_ = 0, in_wdata_ = 0; // input indices
+  std::uint32_t in_vlo_ = 0, in_vhi_ = 0;
+
+  std::vector<encode::Lit> vte_cache_;
+  std::vector<encode::Lit> eq_cache_;
+  encode::Lit spec_lit_;
+  bool have_spec_ = false;
+};
+
+} // namespace upec

@@ -1,0 +1,76 @@
+#include "upec/miner.h"
+
+#include <sstream>
+
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace upec {
+
+std::vector<MinedInvariant> mine_constant_invariants(const rtlir::Design& design,
+                                                     const rtlir::StateVarTable& svt,
+                                                     const MinerOptions& options) {
+  // --- phase 1: random simulation from reset --------------------------------------
+  sim::Simulator simulator(design);
+  Xoshiro256 rng(options.seed);
+
+  const std::size_t num_regs = design.registers().size();
+  std::vector<bool> constant(num_regs, true);
+  std::vector<std::uint64_t> value(num_regs);
+  for (std::size_t r = 0; r < num_regs; ++r) value[r] = simulator.reg_value(r);
+
+  // Resolve biased-stimulus pools to input indices once.
+  std::vector<const std::vector<std::uint64_t>*> pool(design.inputs().size(), nullptr);
+  for (std::uint32_t i = 0; i < design.inputs().size(); ++i) {
+    auto it = options.input_pool.find(design.net(design.inputs()[i].net).name);
+    if (it != options.input_pool.end() && !it->second.empty()) pool[i] = &it->second;
+  }
+
+  for (unsigned cycle = 0; cycle < options.cycles; ++cycle) {
+    for (std::uint32_t i = 0; i < design.inputs().size(); ++i) {
+      if (pool[i] && rng.chance(0.5)) {
+        simulator.set_input(i, (*pool[i])[rng.below(pool[i]->size())]);
+      } else {
+        simulator.set_input(i, rng.next());
+      }
+    }
+    simulator.step();
+    for (std::size_t r = 0; r < num_regs; ++r) {
+      if (constant[r] && simulator.reg_value(r) != value[r]) constant[r] = false;
+    }
+  }
+
+  // --- phase 2: inductive discharge -------------------------------------------------
+  std::vector<MinedInvariant> out;
+  for (std::uint32_t r = 0; r < num_regs; ++r) {
+    if (!constant[r]) continue;
+    if (design.width(design.registers()[r].q) > options.max_width) continue;
+    MinedInvariant mined;
+    mined.reg = r;
+    mined.value = value[r];
+    std::ostringstream desc;
+    desc << svt.name(svt.of_register(r)) << " == "
+         << BitVec(design.width(design.registers()[r].q), value[r]).to_hex();
+    mined.description = desc.str();
+    if (options.prove) {
+      mined.proven = ipc::check_inductive(design, svt, to_invariant(design, mined)).empty();
+    }
+    out.push_back(std::move(mined));
+  }
+  return out;
+}
+
+ipc::Invariant to_invariant(const rtlir::Design& design, const MinedInvariant& mined) {
+  ipc::Invariant inv;
+  inv.name = mined.description;
+  const std::uint32_t reg = mined.reg;
+  const unsigned width = design.width(design.registers()[reg].q);
+  const std::uint64_t value = mined.value;
+  inv.build = [reg, width, value](encode::CnfBuilder& cnf, encode::UnrolledInstance& inst,
+                                  unsigned frame) {
+    return cnf.v_eq(inst.reg_at(frame, reg), cnf.constant_vec(BitVec(width, value)));
+  };
+  return inv;
+}
+
+} // namespace upec

@@ -1,0 +1,51 @@
+// Simulation-guided invariant mining.
+//
+// Sec 3.4 of the paper notes that IPC false counterexamples are pruned with
+// invariants that "are straightforward to formulate". This module automates
+// the first pass: it drives the design with random inputs from reset,
+// watches which registers never leave a constant value, proposes
+// "reg == const" candidates, and keeps exactly those that the inductive
+// check (base from reset + step) discharges. On the hardware-guarded SoC
+// this proves e.g. `xbar_priv rsel_master_q == 0` fully automatically — the
+// invariant the countermeasure proof otherwise assumes from the firmware
+// constraints.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ipc/invariant.h"
+
+namespace upec {
+
+struct MinedInvariant {
+  std::string description; // human-readable, e.g. "soc.x.y_q == 8'h00"
+  std::uint32_t reg = 0;
+  std::uint64_t value = 0;
+  bool proven = false; // passed the inductive check
+};
+
+struct MinerOptions {
+  unsigned cycles = 512;       // random-simulation horizon
+  std::uint64_t seed = 1;      // deterministic stimulus
+  bool prove = true;           // discharge candidates inductively
+  // Registers wider than this are skipped (wide constants are usually just
+  // unexercised data paths, not invariants worth assuming).
+  unsigned max_width = 8;
+  // Biased stimulus: for the named inputs, draw from the given value pool
+  // half of the time instead of uniformly at random. Pure random stimulus
+  // rarely hits decoded address ranges, so callers seed the pool with mapped
+  // addresses to exercise the bus fabric.
+  std::unordered_map<std::string, std::vector<std::uint64_t>> input_pool;
+};
+
+std::vector<MinedInvariant> mine_constant_invariants(const rtlir::Design& design,
+                                                     const rtlir::StateVarTable& svt,
+                                                     const MinerOptions& options = {});
+
+// Wraps a proven mined invariant as an ipc::Invariant usable in proofs.
+ipc::Invariant to_invariant(const rtlir::Design& design, const MinedInvariant& mined);
+
+} // namespace upec

@@ -1,0 +1,75 @@
+// Persistence classification: computes S_pers (Def. 2) — the state variables
+// that are (1) accessible to the attacker task and (2) persistent across a
+// context switch.
+//
+// Following Sec 3.4 of the paper, classification is rule-driven and only
+// consulted for variables that actually appear in counterexamples:
+//   - interconnect buffers (crossbar request/response-routing registers, SRAM
+//     and peripheral response registers) are overwritten by every transaction
+//     and cannot carry information across a context switch → transient;
+//   - architectural IP registers (timer count, DMA/HWPE configuration and
+//     progress, GPIO/UART/event/scratch registers) and public RAM words are
+//     attacker-readable and persistent → S_pers;
+//   - private RAM words are persistent but unreachable for the attacker
+//     (the access-restricted memory device of Sec 4.2) → not in S_pers;
+//   - anything not matched is Unknown and "requires closer inspection"; the
+//     classifier reports these, and the procedures treat them conservatively
+//     as persistent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "soc/pulpissimo.h"
+#include "upec/state_sets.h"
+
+namespace upec {
+
+enum class Persistence : std::uint8_t {
+  Transient,               // overwritten per transaction; cannot hold data across a switch
+  PersistentAccessible,    // in S_pers
+  PersistentInaccessible,  // persistent but attacker cannot retrieve it
+  Unknown,                 // needs manual inspection; treated as persistent
+};
+
+const char* persistence_name(Persistence p);
+
+class PersistenceClassifier {
+public:
+  PersistenceClassifier(const rtlir::StateVarTable& svt, const soc::Soc& soc);
+
+  Persistence classify(rtlir::StateVarId id) const;
+  bool in_s_pers(rtlir::StateVarId id) const {
+    const Persistence p = classify(id);
+    return p == Persistence::PersistentAccessible || p == Persistence::Unknown;
+  }
+
+  StateSet s_pers() const;
+  std::vector<rtlir::StateVarId> unknowns() const;
+
+  // Tabular summary (name, class) for reports and documentation.
+  std::string describe() const;
+
+private:
+  const rtlir::StateVarTable& svt_;
+  const soc::Soc& soc_;
+  std::vector<Persistence> cached_;
+};
+
+
+// Structural audit of the Transient classification (Sec 3.4's justification
+// that interconnect buffers are "overwritten with every communication
+// transaction"): a register is *trivially* transient when its write enable
+// is constant-true — it cannot hold any value for longer than one cycle.
+// Conditionally-written registers are listed for manual justification
+// (e.g. an address latch that only holds stale data while its valid bit,
+// itself trivially transient, is low).
+struct TransienceAudit {
+  std::vector<rtlir::StateVarId> trivially_transient; // rewritten every cycle
+  std::vector<rtlir::StateVarId> conditionally_written;
+};
+
+TransienceAudit audit_transients(const rtlir::StateVarTable& svt,
+                                 const PersistenceClassifier& classifier);
+
+} // namespace upec

@@ -1,0 +1,101 @@
+#include "upec/report.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace upec {
+
+namespace {
+
+void render_iteration_row(std::ostringstream& os, unsigned idx, const IterationLog& log,
+                          int k = -1) {
+  os << "  " << std::setw(4) << idx;
+  if (k >= 0) os << std::setw(5) << k;
+  os << std::setw(10) << log.s_size << std::setw(10) << log.cex_size << std::setw(10)
+     << log.pers_hits << std::setw(12) << std::fixed << std::setprecision(3) << log.seconds
+     << std::setw(12) << log.conflicts << "  "
+     << (log.status == ipc::CheckStatus::Holds      ? "holds"
+         : log.status == ipc::CheckStatus::Violated ? "cex"
+                                                    : "unknown")
+     << "\n";
+}
+
+void render_hits(std::ostringstream& os, const UpecContext& ctx,
+                 const std::vector<rtlir::StateVarId>& hits,
+                 const std::vector<rtlir::StateVarId>& full) {
+  os << "persistent state reached by victim information (S_cex ∩ S_pers):\n";
+  for (rtlir::StateVarId sv : hits) {
+    os << "  ! " << ctx.svt.name(sv) << "  [" << persistence_name(ctx.pers.classify(sv))
+       << "]\n";
+  }
+  os << "all differing state variables in the counterexample:\n";
+  for (rtlir::StateVarId sv : full) {
+    os << "    " << ctx.svt.name(sv) << "  [" << persistence_name(ctx.pers.classify(sv))
+       << "]\n";
+  }
+}
+
+} // namespace
+
+std::string iteration_table(const UpecContext& ctx, const Alg1Result& result) {
+  (void)ctx;
+  std::ostringstream os;
+  os << "  iter      |S|    |Scex|     pers     time[s]   conflicts  status\n";
+  for (std::size_t i = 0; i < result.iterations.size(); ++i) {
+    render_iteration_row(os, static_cast<unsigned>(i + 1), result.iterations[i]);
+  }
+  return os.str();
+}
+
+std::string iteration_table(const UpecContext& ctx, const Alg2Result& result) {
+  (void)ctx;
+  std::ostringstream os;
+  os << "  iter    k      |S|    |Scex|     pers     time[s]   conflicts  status\n";
+  for (std::size_t i = 0; i < result.steps.size(); ++i) {
+    render_iteration_row(os, static_cast<unsigned>(i + 1), result.steps[i].iteration,
+                         static_cast<int>(result.steps[i].k));
+  }
+  return os.str();
+}
+
+std::string render_report(const UpecContext& ctx, const Alg1Result& result) {
+  std::ostringstream os;
+  os << "UPEC-SSC (Alg. 1, 2-cycle property)\n";
+  os << iteration_table(ctx, result);
+  os << "verdict: " << verdict_name(result.verdict) << "  (total " << std::fixed
+     << std::setprecision(3) << result.total_seconds << " s)\n";
+  if (result.verdict == Verdict::Vulnerable) {
+    render_hits(os, ctx, result.persistent_hits, result.full_cex);
+    if (result.waveform) {
+      os << "counterexample waveform (instance A / instance B where differing):\n"
+         << result.waveform->pretty();
+    }
+  } else if (result.verdict == Verdict::Secure) {
+    os << "final inductive set size |S| = " << result.final_s.size() << " of "
+       << ctx.svt.size() << " state variables (S_pers ⊆ S ⊆ S_¬victim)\n";
+  }
+  return os.str();
+}
+
+std::string render_report(const UpecContext& ctx, const Alg2Result& result) {
+  std::ostringstream os;
+  os << "UPEC-SSC unrolled (Alg. 2), final k = " << result.final_k << "\n";
+  os << iteration_table(ctx, result);
+  os << "verdict: " << verdict_name(result.verdict) << "  (total " << std::fixed
+     << std::setprecision(3) << result.total_seconds << " s)\n";
+  if (result.verdict == Verdict::Vulnerable) {
+    render_hits(os, ctx, result.persistent_hits, result.full_cex);
+    if (result.waveform) {
+      os << "explicit " << result.final_k
+         << "-cycle counterexample (instance A / instance B where differing):\n"
+         << result.waveform->pretty();
+    }
+  }
+  if (result.induction) {
+    os << "closing induction: " << verdict_name(result.induction->verdict) << " after "
+       << result.induction->iterations.size() << " iteration(s)\n";
+  }
+  return os.str();
+}
+
+} // namespace upec

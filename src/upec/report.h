@@ -1,0 +1,20 @@
+// Text rendering of verification outcomes: iteration tables, persistent-hit
+// lists, and counterexample waveforms — the artifacts a verification engineer
+// (and the reproduction benchmarks) consume.
+#pragma once
+
+#include <string>
+
+#include "upec/alg2.h"
+#include "upec/engine.h"
+
+namespace upec {
+
+std::string render_report(const UpecContext& ctx, const Alg1Result& result);
+std::string render_report(const UpecContext& ctx, const Alg2Result& result);
+
+// One line per iteration: |S|, |S_cex|, persistent hits, runtime.
+std::string iteration_table(const UpecContext& ctx, const Alg1Result& result);
+std::string iteration_table(const UpecContext& ctx, const Alg2Result& result);
+
+} // namespace upec

@@ -1,0 +1,14 @@
+#include "upec/state_sets.h"
+
+namespace upec {
+
+StateSet s_not_victim(const rtlir::StateVarTable& svt,
+                      const std::vector<std::string>& excluded_prefixes) {
+  StateSet s = StateSet::all(svt);
+  for (const std::string& prefix : excluded_prefixes) {
+    for (rtlir::StateVarId id : svt.ids_with_prefix(prefix)) s.remove(id);
+  }
+  return s;
+}
+
+} // namespace upec

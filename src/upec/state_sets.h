@@ -1,0 +1,68 @@
+// State-variable sets: the S, S_¬victim, S_pers bookkeeping of the UPEC-SSC
+// procedure (Definitions 1 and 2 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtlir/analyze.h"
+
+namespace upec {
+
+// Dense set over StateVarId with the operations Alg. 1 / Alg. 2 need.
+class StateSet {
+public:
+  StateSet() = default;
+  StateSet(std::size_t universe, bool full) : bits_(universe, full), count_(full ? universe : 0) {}
+
+  static StateSet all(const rtlir::StateVarTable& svt) { return StateSet(svt.size(), true); }
+  static StateSet none(const rtlir::StateVarTable& svt) { return StateSet(svt.size(), false); }
+
+  bool contains(rtlir::StateVarId id) const { return id < bits_.size() && bits_[id]; }
+  std::size_t size() const { return count_; }
+  std::size_t universe() const { return bits_.size(); }
+
+  void insert(rtlir::StateVarId id) {
+    if (!bits_[id]) {
+      bits_[id] = true;
+      ++count_;
+    }
+  }
+  void remove(rtlir::StateVarId id) {
+    if (bits_[id]) {
+      bits_[id] = false;
+      --count_;
+    }
+  }
+  void remove_all(const std::vector<rtlir::StateVarId>& ids) {
+    for (auto id : ids) remove(id);
+  }
+
+  std::vector<rtlir::StateVarId> to_vector() const {
+    std::vector<rtlir::StateVarId> out;
+    out.reserve(count_);
+    for (rtlir::StateVarId id = 0; id < bits_.size(); ++id) {
+      if (bits_[id]) out.push_back(id);
+    }
+    return out;
+  }
+
+  friend bool operator==(const StateSet&, const StateSet&) = default;
+
+private:
+  std::vector<bool> bits_;
+  std::size_t count_ = 0;
+};
+
+// S_¬victim (Def. 1): all state variables minus the CPU-internal ones. Our
+// design-under-verification models the CPU at its bus interface (Obs. 1), so
+// by construction no CPU-internal state exists; the helper still excludes any
+// variables under the given scope prefixes so designs that *do* instantiate a
+// core (or other excluded blocks) are handled uniformly. Victim memory words
+// are not excluded here — their membership is symbolic (the victim address
+// range) and handled by the per-word exemption condition in the macros.
+StateSet s_not_victim(const rtlir::StateVarTable& svt,
+                      const std::vector<std::string>& excluded_prefixes = {"soc.cpu."});
+
+} // namespace upec

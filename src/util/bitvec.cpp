@@ -1,0 +1,23 @@
+#include "util/bitvec.h"
+
+namespace upec {
+
+std::string BitVec::to_hex() const {
+  const unsigned digits = (width_ + 3) / 4;
+  static const char* kHex = "0123456789abcdef";
+  std::string out(digits, '0');
+  for (unsigned i = 0; i < digits; ++i) {
+    out[digits - 1 - i] = kHex[(value_ >> (4 * i)) & 0xf];
+  }
+  return std::to_string(width_) + "'h" + out;
+}
+
+std::string BitVec::to_bin() const {
+  std::string out(width_, '0');
+  for (unsigned i = 0; i < width_; ++i) {
+    out[width_ - 1 - i] = bit(i) ? '1' : '0';
+  }
+  return std::to_string(width_) + "'b" + out;
+}
+
+} // namespace upec

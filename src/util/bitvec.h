@@ -1,0 +1,61 @@
+// Fixed-width bit-vector value type used throughout the RTL IR, the
+// simulator, and counterexample waveforms.
+//
+// Widths are limited to 64 bits: every net in the generated SoCs is at most
+// 32 bits wide (OBI-style bus), and keeping values in a single machine word
+// keeps simulation and encoding fast. Wider words in the paper's SoC carry no
+// additional semantics for the verified properties.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace upec {
+
+class BitVec {
+public:
+  static constexpr unsigned kMaxWidth = 64;
+
+  BitVec() = default;
+  BitVec(unsigned width, std::uint64_t value) : width_(width), value_(mask(width) & value) {
+    assert(width >= 1 && width <= kMaxWidth);
+  }
+
+  static BitVec zeros(unsigned width) { return BitVec(width, 0); }
+  static BitVec ones(unsigned width) { return BitVec(width, ~0ULL); }
+
+  unsigned width() const { return width_; }
+  std::uint64_t value() const { return value_; }
+
+  bool bit(unsigned i) const {
+    assert(i < width_);
+    return (value_ >> i) & 1u;
+  }
+  BitVec with_bit(unsigned i, bool b) const {
+    assert(i < width_);
+    std::uint64_t v = b ? (value_ | (1ULL << i)) : (value_ & ~(1ULL << i));
+    return BitVec(width_, v);
+  }
+
+  bool is_zero() const { return value_ == 0; }
+
+  friend bool operator==(const BitVec& a, const BitVec& b) {
+    return a.width_ == b.width_ && a.value_ == b.value_;
+  }
+  friend bool operator!=(const BitVec& a, const BitVec& b) { return !(a == b); }
+
+  // Mask of the low `width` bits; width may be 0..64.
+  static std::uint64_t mask(unsigned width) {
+    return width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+  }
+
+  std::string to_hex() const;
+  std::string to_bin() const;
+
+private:
+  unsigned width_ = 1;
+  std::uint64_t value_ = 0;
+};
+
+} // namespace upec

@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generator (xoshiro256**) used by
+// randomized tests, the invariant miner, and workload generators in the
+// benchmark harness. Deterministic seeding keeps every experiment
+// reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+
+namespace upec {
+
+class Xoshiro256 {
+public:
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // splitmix64 seeding, the reference initialization for xoshiro.
+    std::uint64_t x = seed;
+    for (auto& s : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform value in [0, bound). bound must be nonzero.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  bool chance(double p) {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t s_[4];
+};
+
+} // namespace upec

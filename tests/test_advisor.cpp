@@ -1,0 +1,98 @@
+// The countermeasure advisor: suggested mitigations must match the sinks the
+// proofs find, and the advise → apply → re-verify loop must converge to a
+// secure design (the paper's proposed design methodology, prototyped).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "upec/advisor.h"
+#include "upec/report.h"
+
+namespace upec {
+namespace {
+
+soc::Soc small_soc() {
+  soc::SocConfig cfg;
+  cfg.pub_ram_words = 16;
+  cfg.priv_ram_words = 8;
+  return soc::build_pulpissimo(cfg);
+}
+
+TEST(Advisor, HwpeScenarioSuggestsIsolationOrConstraints) {
+  const soc::Soc soc = small_soc();
+  VerifyOptions options;
+  auto svt = std::make_shared<rtlir::StateVarTable>(*soc.design);
+  options.s_pers_filter = [svt](rtlir::StateVarId sv) {
+    const std::string name = svt->name(sv);
+    return name.find(".hwpe.") != std::string::npos ||
+           name.find("pub_ram.mem[") != std::string::npos;
+  };
+  UpecContext ctx(soc, options);
+  const Alg1Result result = run_alg1(ctx);
+  ASSERT_EQ(result.verdict, Verdict::Vulnerable);
+
+  const std::vector<Suggestion> advice = advise(ctx, result.persistent_hits);
+  ASSERT_FALSE(advice.empty());
+  bool actionable = false;
+  for (const Suggestion& s : advice) {
+    EXPECT_TRUE(s.subsystem == "hwpe" || s.subsystem == "pub_ram") << s.subsystem;
+    actionable |= s.kind == MitigationKind::PrivateMemoryMapping ||
+                  s.kind == MitigationKind::FirmwareConstraints;
+    EXPECT_FALSE(s.evidence.empty());
+  }
+  EXPECT_TRUE(actionable);
+  const std::string text = render_advice(ctx, advice);
+  EXPECT_NE(text.find("countermeasure suggestions"), std::string::npos);
+}
+
+TEST(Advisor, AdviseApplyReverifyConverges) {
+  // The methodology loop: run, take the suggested fix (private mapping +
+  // firmware constraints — exactly countermeasure_options()), re-run, secure.
+  const soc::Soc soc = small_soc();
+  UpecContext vulnerable_ctx(soc);
+  const Alg1Result first = run_alg1(vulnerable_ctx);
+  ASSERT_EQ(first.verdict, Verdict::Vulnerable);
+  const std::vector<Suggestion> advice = advise(vulnerable_ctx, first.persistent_hits);
+  ASSERT_FALSE(advice.empty());
+
+  bool suggests_mapping_or_constraints = false;
+  for (const Suggestion& s : advice) {
+    suggests_mapping_or_constraints |= s.kind == MitigationKind::PrivateMemoryMapping ||
+                                       s.kind == MitigationKind::FirmwareConstraints;
+  }
+  ASSERT_TRUE(suggests_mapping_or_constraints);
+
+  UpecContext fixed_ctx(soc, countermeasure_options());
+  const Alg1Result second = run_alg1(fixed_ctx);
+  EXPECT_EQ(second.verdict, Verdict::Secure) << render_report(fixed_ctx, second);
+}
+
+TEST(Advisor, TimerHitCarriesInsufficiencyWarning) {
+  // Force the timer into S_pers focus; the advisor must warn that timer
+  // access control alone does not stop the timer-free variant (Sec 4.1).
+  const soc::Soc soc = small_soc();
+  VerifyOptions options;
+  auto svt = std::make_shared<rtlir::StateVarTable>(*soc.design);
+  options.s_pers_filter = [svt](rtlir::StateVarId sv) {
+    return svt->name(sv).find(".timer.") != std::string::npos;
+  };
+  UpecContext ctx(soc, options);
+  const Alg1Result result = run_alg1(ctx);
+  ASSERT_EQ(result.verdict, Verdict::Vulnerable) << render_report(ctx, result);
+  const std::vector<Suggestion> advice = advise(ctx, result.persistent_hits);
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_EQ(advice[0].kind, MitigationKind::TimerAccessControl);
+  EXPECT_NE(advice[0].rationale.find("insufficient"), std::string::npos);
+}
+
+TEST(Advisor, SecureResultNeedsNoAdvice) {
+  const soc::Soc soc = small_soc();
+  UpecContext ctx(soc, countermeasure_options());
+  const Alg1Result result = run_alg1(ctx);
+  ASSERT_EQ(result.verdict, Verdict::Secure);
+  EXPECT_TRUE(advise(ctx, result.persistent_hits).empty());
+  EXPECT_NE(render_advice(ctx, {}).find("nothing to mitigate"), std::string::npos);
+}
+
+} // namespace
+} // namespace upec

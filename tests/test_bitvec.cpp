@@ -1,0 +1,61 @@
+#include "util/bitvec.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace upec {
+namespace {
+
+TEST(BitVec, MaskingOnConstruction) {
+  EXPECT_EQ(BitVec(4, 0xff).value(), 0xfu);
+  EXPECT_EQ(BitVec(64, ~0ULL).value(), ~0ULL);
+  EXPECT_EQ(BitVec(1, 2).value(), 0u);
+}
+
+TEST(BitVec, BitAccess) {
+  const BitVec v(8, 0b10110010);
+  EXPECT_FALSE(v.bit(0));
+  EXPECT_TRUE(v.bit(1));
+  EXPECT_TRUE(v.bit(7));
+  EXPECT_EQ(v.with_bit(0, true).value(), 0b10110011u);
+  EXPECT_EQ(v.with_bit(7, false).value(), 0b00110010u);
+}
+
+TEST(BitVec, Equality) {
+  EXPECT_EQ(BitVec(8, 5), BitVec(8, 5));
+  EXPECT_NE(BitVec(8, 5), BitVec(9, 5));
+  EXPECT_NE(BitVec(8, 5), BitVec(8, 6));
+}
+
+TEST(BitVec, MaskHelper) {
+  EXPECT_EQ(BitVec::mask(0), 0u);
+  EXPECT_EQ(BitVec::mask(1), 1u);
+  EXPECT_EQ(BitVec::mask(32), 0xffffffffull);
+  EXPECT_EQ(BitVec::mask(64), ~0ULL);
+}
+
+TEST(BitVec, HexRendering) {
+  EXPECT_EQ(BitVec(8, 0xab).to_hex(), "8'hab");
+  EXPECT_EQ(BitVec(12, 0xab).to_hex(), "12'h0ab");
+  EXPECT_EQ(BitVec(1, 1).to_bin(), "1'b1");
+  EXPECT_EQ(BitVec(4, 0b1010).to_bin(), "4'b1010");
+}
+
+TEST(Rng, Deterministic) {
+  Xoshiro256 a(42), b(42), c(43);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_EQ(a.next(), b.next());
+  Xoshiro256 a2(42);
+  EXPECT_NE(a2.next(), c.next());
+}
+
+TEST(Rng, BelowIsBounded) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+} // namespace
+} // namespace upec

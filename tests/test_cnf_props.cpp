@@ -1,0 +1,171 @@
+// Property-based validation of the Tseitin gate library: for random operand
+// values, every word-level CNF operator must agree with native 64-bit
+// arithmetic, and algebraic identities must hold as UNSAT queries (i.e. no
+// assignment can distinguish the two sides).
+#include <gtest/gtest.h>
+
+#include "encode/cnf.h"
+#include "util/rng.h"
+
+namespace upec::encode {
+namespace {
+
+class CnfOpRandom : public ::testing::TestWithParam<int> {
+protected:
+  std::uint64_t eval(const Bits& image, const sat::Solver& s) {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < image.size(); ++i) {
+      if (s.model_value(image[i])) v |= 1ull << i;
+    }
+    return v;
+  }
+};
+
+TEST_P(CnfOpRandom, ConcreteOperandsMatchNativeArithmetic) {
+  Xoshiro256 rng(9000 + GetParam());
+  const unsigned w = 1 + rng.below(16);
+  const std::uint64_t mask = BitVec::mask(w);
+  const std::uint64_t va = rng.next() & mask;
+  const std::uint64_t vb = rng.next() & mask;
+
+  sat::Solver solver;
+  CnfBuilder cnf(solver);
+  const Bits a = cnf.constant_vec(BitVec(w, va));
+  const Bits b = cnf.constant_vec(BitVec(w, vb));
+
+  // Constant folding should make most results literal constants already, but
+  // we check through the solver to also cover mixed cases below.
+  ASSERT_TRUE(solver.solve());
+  EXPECT_EQ(eval(cnf.v_add(a, b), solver), (va + vb) & mask);
+  EXPECT_EQ(eval(cnf.v_sub(a, b), solver), (va - vb) & mask);
+  EXPECT_EQ(eval(cnf.v_and(a, b), solver), va & vb);
+  EXPECT_EQ(eval(cnf.v_or(a, b), solver), va | vb);
+  EXPECT_EQ(eval(cnf.v_xor(a, b), solver), va ^ vb);
+  EXPECT_EQ(eval(cnf.v_not(a), solver), ~va & mask);
+  EXPECT_EQ(solver.model_value(cnf.v_eq(a, b)), va == vb);
+  EXPECT_EQ(solver.model_value(cnf.v_ult(a, b)), va < vb);
+}
+
+TEST_P(CnfOpRandom, SymbolicOperandsMatchNativeArithmetic) {
+  Xoshiro256 rng(4500 + GetParam());
+  const unsigned w = 1 + rng.below(12);
+  const std::uint64_t mask = BitVec::mask(w);
+  const std::uint64_t va = rng.next() & mask;
+  const std::uint64_t vb = rng.next() & mask;
+  const std::uint64_t sh = rng.below(w + 3);
+
+  sat::Solver solver;
+  CnfBuilder cnf(solver);
+  const Bits a = cnf.fresh_vec(w);
+  const Bits b = cnf.fresh_vec(w);
+  const Bits amt = cnf.fresh_vec(5);
+
+  const Bits sum = cnf.v_add(a, b);
+  const Bits dif = cnf.v_sub(a, b);
+  const Bits shl = cnf.v_shl(a, amt);
+  const Bits shr = cnf.v_lshr(a, amt);
+  const Lit lt = cnf.v_ult(a, b);
+  const Lit eq = cnf.v_eq(a, b);
+
+  auto pin = [&](const Bits& image, std::uint64_t value) {
+    for (std::size_t i = 0; i < image.size(); ++i) {
+      solver.add_clause((value >> i) & 1 ? image[i] : ~image[i]);
+    }
+  };
+  pin(a, va);
+  pin(b, vb);
+  pin(amt, sh);
+  ASSERT_TRUE(solver.solve());
+
+  EXPECT_EQ(eval(sum, solver), (va + vb) & mask);
+  EXPECT_EQ(eval(dif, solver), (va - vb) & mask);
+  EXPECT_EQ(eval(shl, solver), sh >= w ? 0 : (va << sh) & mask);
+  EXPECT_EQ(eval(shr, solver), sh >= w ? 0 : va >> sh);
+  EXPECT_EQ(solver.model_value(lt), va < vb);
+  EXPECT_EQ(solver.model_value(eq), va == vb);
+}
+
+TEST_P(CnfOpRandom, AlgebraicIdentitiesAreUnsat) {
+  // (a+b)-b == a, a^a == 0, a<b <=> !(b<=a): checked as "no distinguishing
+  // assignment exists" over fully symbolic operands.
+  Xoshiro256 rng(7100 + GetParam());
+  const unsigned w = 1 + rng.below(10);
+
+  sat::Solver solver;
+  CnfBuilder cnf(solver);
+  const Bits a = cnf.fresh_vec(w);
+  const Bits b = cnf.fresh_vec(w);
+
+  const Bits roundtrip = cnf.v_sub(cnf.v_add(a, b), b);
+  const Lit rt_differs = ~cnf.v_eq(roundtrip, a);
+  EXPECT_FALSE(solver.solve({rt_differs})) << "(a+b)-b must equal a";
+
+  const Lit xor_self = cnf.v_red_or(cnf.v_xor(a, a));
+  EXPECT_FALSE(solver.solve({xor_self})) << "a^a must be zero";
+
+  const Lit lt = cnf.v_ult(a, b);
+  const Lit ge = ~cnf.v_ult(a, b);
+  EXPECT_FALSE(solver.solve({lt, ge}));
+
+  // Mux select laws: mux(s,x,x) == x.
+  const Lit s = cnf.fresh();
+  const Bits m = cnf.v_mux(s, a, a);
+  EXPECT_FALSE(solver.solve({~cnf.v_eq(m, a)}));
+
+  // Commutativity of add.
+  EXPECT_FALSE(solver.solve({~cnf.v_eq(cnf.v_add(a, b), cnf.v_add(b, a))}));
+}
+
+TEST_P(CnfOpRandom, SliceConcatRoundtrip) {
+  Xoshiro256 rng(8200 + GetParam());
+  const unsigned lo_w = 1 + rng.below(8);
+  const unsigned hi_w = 1 + rng.below(8);
+
+  sat::Solver solver;
+  CnfBuilder cnf(solver);
+  const Bits hi = cnf.fresh_vec(hi_w);
+  const Bits lo = cnf.fresh_vec(lo_w);
+  const Bits cat = cnf.v_concat(hi, lo);
+  ASSERT_EQ(cat.size(), hi_w + lo_w);
+
+  const Bits lo_back = cnf.v_slice(cat, 0, lo_w);
+  const Bits hi_back = cnf.v_slice(cat, lo_w, hi_w);
+  EXPECT_FALSE(solver.solve({~cnf.v_eq(lo_back, lo)}));
+  EXPECT_FALSE(solver.solve({~cnf.v_eq(hi_back, hi)}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CnfOpRandom, ::testing::Range(0, 25));
+
+TEST(CnfBuilder, ConstantFoldingAvoidsVariables) {
+  sat::Solver solver;
+  CnfBuilder cnf(solver);
+  const std::uint64_t before = cnf.num_aux_vars();
+  const Bits a = cnf.constant_vec(BitVec(16, 0x1234));
+  const Bits b = cnf.constant_vec(BitVec(16, 0x00ff));
+  cnf.v_and(a, b);
+  cnf.v_or(a, b);
+  cnf.v_xor(a, b);
+  cnf.v_mux(cnf.lit_true(), a, b);
+  EXPECT_EQ(cnf.num_aux_vars(), before) << "all-constant gates must fold away";
+}
+
+TEST(CnfBuilder, SingleBitFolds) {
+  sat::Solver solver;
+  CnfBuilder cnf(solver);
+  const Lit x = cnf.fresh();
+  EXPECT_EQ(cnf.and2(x, cnf.lit_true()), x);
+  EXPECT_TRUE(cnf.is_false(cnf.and2(x, cnf.lit_false())));
+  EXPECT_EQ(cnf.and2(x, x), x);
+  EXPECT_TRUE(cnf.is_false(cnf.and2(x, ~x)));
+  EXPECT_EQ(cnf.xor2(x, cnf.lit_false()), x);
+  EXPECT_EQ(cnf.xor2(x, cnf.lit_true()), ~x);
+  EXPECT_TRUE(cnf.is_false(cnf.xor2(x, x)));
+  EXPECT_TRUE(cnf.is_true(cnf.xor2(x, ~x)));
+  EXPECT_EQ(cnf.mux(cnf.lit_true(), x, ~x), x);
+  EXPECT_EQ(cnf.mux(cnf.lit_false(), x, ~x), ~x);
+  const Lit y = cnf.fresh();
+  EXPECT_EQ(cnf.mux(y, cnf.lit_true(), cnf.lit_false()), y);
+}
+
+} // namespace
+} // namespace upec::encode

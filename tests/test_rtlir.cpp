@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "rtlir/analyze.h"
+#include "rtlir/builder.h"
+#include "rtlir/fold.h"
+#include "rtlir/pretty.h"
+#include "util/rng.h"
+
+namespace upec::rtlir {
+namespace {
+
+TEST(Builder, ScopedNames) {
+  Design d;
+  Builder b(d);
+  b.push_scope("soc");
+  {
+    Builder::Scope s(b, "ip");
+    const RegHandle r = b.reg("ctrl_q", 8);
+    EXPECT_EQ(d.net(r.q).name, "soc.ip.ctrl_q");
+  }
+  EXPECT_EQ(b.scoped("x"), "soc.x");
+}
+
+TEST(Builder, ConstantDeduplication) {
+  Design d;
+  Builder b(d);
+  const NetId a = b.constant(32, 42);
+  const NetId c = b.constant(32, 42);
+  const NetId e = b.constant(16, 42);
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, e);
+}
+
+TEST(Builder, WidthPropagation) {
+  Design d;
+  Builder b(d);
+  const NetId x = b.input("x", 8);
+  const NetId y = b.input("y", 8);
+  EXPECT_EQ(d.width(b.add(x, y)), 8u);
+  EXPECT_EQ(d.width(b.eq(x, y)), 1u);
+  EXPECT_EQ(d.width(b.concat(x, y)), 16u);
+  EXPECT_EQ(d.width(b.slice(x, 6, 3)), 4u);
+  EXPECT_EQ(d.width(b.zext(x, 20)), 20u);
+  EXPECT_EQ(d.width(b.red_or(x)), 1u);
+}
+
+TEST(Builder, ResizeBothDirections) {
+  Design d;
+  Builder b(d);
+  const NetId x = b.input("x", 8);
+  EXPECT_EQ(d.width(b.resize(x, 4)), 4u);
+  EXPECT_EQ(d.width(b.resize(x, 8)), 8u);
+  EXPECT_EQ(d.width(b.resize(x, 16)), 16u);
+}
+
+TEST(Validate, CleanDesign) {
+  Design d;
+  Builder b(d);
+  const NetId x = b.input("x", 4);
+  const RegHandle r = b.reg("r_q", 4);
+  b.connect(r, b.add(r.q, x));
+  EXPECT_EQ(d.validate(), "");
+}
+
+TEST(Validate, ReportsUnconnectedRegister) {
+  Design d;
+  Builder b(d);
+  b.reg("dangling_q", 4);
+  EXPECT_NE(d.validate().find("dangling_q"), std::string::npos);
+}
+
+TEST(Validate, ReportsWidthMismatch) {
+  Design d;
+  Builder b(d);
+  const RegHandle r = b.reg("r_q", 4);
+  // Bypass builder checks by connecting through the design directly.
+  d.connect_register(r.index, b.input("x", 8), kNullNet);
+  EXPECT_NE(d.validate().find("width"), std::string::npos);
+}
+
+TEST(StateVars, EnumerationAndNames) {
+  Design d;
+  Builder b(d);
+  b.push_scope("top");
+  const RegHandle r = b.reg("a_q", 4);
+  b.connect(r, r.q);
+  const MemHandle m = b.memory("ram", 4, 8);
+  b.mem_write(m, b.zero(2), b.zero(8), b.zero(1));
+
+  StateVarTable svt(d);
+  ASSERT_EQ(svt.size(), 5u); // 1 register + 4 memory words
+  EXPECT_EQ(svt.name(svt.of_register(r.index)), "top.a_q");
+  EXPECT_EQ(svt.name(svt.of_mem_word(m.index, 2)), "top.ram[2]");
+  EXPECT_EQ(svt.width(svt.of_mem_word(m.index, 0)), 8u);
+  EXPECT_EQ(svt.ids_with_prefix("top.ram").size(), 4u);
+  EXPECT_EQ(svt.ids_with_prefix("top.").size(), 5u);
+}
+
+TEST(Topo, OrdersChains) {
+  Design d;
+  Builder b(d);
+  const NetId x = b.input("x", 4);
+  NetId cur = x;
+  for (int i = 0; i < 10; ++i) cur = b.add_const(cur, 1);
+  bool cyclic = true;
+  const auto order = topo_order_cells(d, &cyclic);
+  EXPECT_FALSE(cyclic);
+  // Every cell must appear after its producer.
+  std::vector<int> pos(d.cells().size(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = static_cast<int>(i);
+  for (std::size_t ci = 0; ci < d.cells().size(); ++ci) {
+    for (NetId operand : {d.cells()[ci].a, d.cells()[ci].b, d.cells()[ci].c}) {
+      if (operand != kNullNet && d.net(operand).kind == NetKind::Cell) {
+        EXPECT_LT(pos[d.net(operand).payload], pos[ci]);
+      }
+    }
+  }
+}
+
+TEST(Fanin, StopsAtRegisters) {
+  Design d;
+  Builder b(d);
+  const NetId x = b.input("x", 4);
+  const RegHandle r = b.reg("r_q", 4);
+  const NetId sum = b.add(r.q, x);
+  b.connect(r, sum);
+  const NetId downstream = b.add_const(r.q, 3);
+
+  const auto cone = comb_fanin(d, {downstream});
+  EXPECT_TRUE(cone[downstream]);
+  EXPECT_TRUE(cone[r.q]);
+  EXPECT_FALSE(cone[sum]) << "cone must not cross the register boundary";
+  EXPECT_FALSE(cone[x]);
+}
+
+TEST(Fold, PropagatesConstants) {
+  Design d;
+  Builder b(d);
+  const NetId k = b.add(b.constant(8, 3), b.constant(8, 4));
+  const NetId x = b.input("x", 8);
+  const NetId masked = b.and_(x, b.zero(8)); // = 0
+  const NetId sel = b.mux(b.one(1), k, x);   // = 7
+  const auto vals = fold_constants(d);
+  ASSERT_TRUE(vals[k].has_value());
+  EXPECT_EQ(vals[k]->value(), 7u);
+  ASSERT_TRUE(vals[masked].has_value());
+  EXPECT_EQ(vals[masked]->value(), 0u);
+  ASSERT_TRUE(vals[sel].has_value());
+  EXPECT_EQ(vals[sel]->value(), 7u);
+  EXPECT_FALSE(vals[x].has_value());
+}
+
+TEST(Fold, MuxSameBranches) {
+  Design d;
+  Builder b(d);
+  const NetId s = b.input("s", 1);
+  const NetId k = b.constant(4, 9);
+  const NetId m = b.mux(s, k, k);
+  const auto vals = fold_constants(d);
+  ASSERT_TRUE(vals[m].has_value());
+  EXPECT_EQ(vals[m]->value(), 9u);
+}
+
+// Property-style check: eval_cell semantics for shifts at boundary amounts.
+class ShiftSemantics : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ShiftSemantics, ShiftsAtOrAboveWidthYieldZero) {
+  const unsigned sh = GetParam();
+  CellNode c;
+  c.op = Op::Shl;
+  const BitVec a(8, 0xff);
+  const BitVec amount(8, sh);
+  const BitVec r = eval_cell(c, a, amount, BitVec(1, 0), 8);
+  if (sh >= 8) {
+    EXPECT_EQ(r.value(), 0u);
+  } else {
+    EXPECT_EQ(r.value(), (0xffu << sh) & 0xffu);
+  }
+  CellNode c2;
+  c2.op = Op::Lshr;
+  const BitVec r2 = eval_cell(c2, a, amount, BitVec(1, 0), 8);
+  if (sh >= 8) {
+    EXPECT_EQ(r2.value(), 0u);
+  } else {
+    EXPECT_EQ(r2.value(), 0xffu >> sh);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Amounts, ShiftSemantics, ::testing::Values(0u, 1u, 7u, 8u, 9u, 200u));
+
+TEST(Stats, CountsMatch) {
+  Design d;
+  Builder b(d);
+  const RegHandle r = b.reg("r_q", 16);
+  b.connect(r, r.q);
+  const MemHandle m = b.memory("ram", 8, 32);
+  b.mem_write(m, b.zero(3), b.zero(32), b.zero(1));
+  const DesignStats s = design_stats(d);
+  EXPECT_EQ(s.registers, 1u);
+  EXPECT_EQ(s.mem_words, 8u);
+  EXPECT_EQ(s.state_vars, 9u);
+  EXPECT_EQ(s.state_bits, 16u + 8 * 32);
+  EXPECT_NE(summarize(d).find("state_bits=272"), std::string::npos);
+}
+
+} // namespace
+} // namespace upec::rtlir

@@ -1,0 +1,228 @@
+#include "sat/solver.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace upec::sat {
+namespace {
+
+Lit pos(Var v) { return Lit(v, false); }
+Lit neg(Var v) { return Lit(v, true); }
+
+TEST(Sat, TrivialSat) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_clause(pos(a));
+  EXPECT_TRUE(s.solve());
+  EXPECT_TRUE(s.model_value(a));
+}
+
+TEST(Sat, TrivialUnsat) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_clause(pos(a));
+  EXPECT_TRUE(s.okay());
+  s.add_clause(neg(a));
+  EXPECT_FALSE(s.solve());
+}
+
+TEST(Sat, EmptyFormulaIsSat) {
+  Solver s;
+  s.new_var();
+  EXPECT_TRUE(s.solve());
+}
+
+TEST(Sat, UnitPropagationChain) {
+  Solver s;
+  std::vector<Var> v;
+  for (int i = 0; i < 20; ++i) v.push_back(s.new_var());
+  s.add_clause(pos(v[0]));
+  for (int i = 0; i + 1 < 20; ++i) s.add_clause(neg(v[i]), pos(v[i + 1]));
+  ASSERT_TRUE(s.solve());
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(s.model_value(v[i])) << i;
+}
+
+TEST(Sat, TautologyAndDuplicatesIgnored) {
+  Solver s;
+  const Var a = s.new_var(), b = s.new_var();
+  EXPECT_TRUE(s.add_clause({pos(a), neg(a)})); // tautology: dropped
+  EXPECT_TRUE(s.add_clause({pos(b), pos(b), pos(b)}));
+  ASSERT_TRUE(s.solve());
+  EXPECT_TRUE(s.model_value(b));
+}
+
+// Pigeonhole principle: n+1 pigeons into n holes is UNSAT (classic hard-ish
+// instance that exercises conflict analysis and learning).
+TEST(Sat, Pigeonhole4Into3) {
+  Solver s;
+  constexpr int P = 4, H = 3;
+  Var x[P][H];
+  for (auto& row : x) {
+    for (auto& v : row) v = s.new_var();
+  }
+  for (int p = 0; p < P; ++p) {
+    std::vector<Lit> c;
+    for (int h = 0; h < H; ++h) c.push_back(pos(x[p][h]));
+    s.add_clause(c);
+  }
+  for (int h = 0; h < H; ++h) {
+    for (int p1 = 0; p1 < P; ++p1) {
+      for (int p2 = p1 + 1; p2 < P; ++p2) s.add_clause(neg(x[p1][h]), neg(x[p2][h]));
+    }
+  }
+  EXPECT_FALSE(s.solve());
+}
+
+TEST(Sat, Pigeonhole6Into5) {
+  Solver s;
+  constexpr int P = 6, H = 5;
+  std::vector<std::vector<Var>> x(P, std::vector<Var>(H));
+  for (auto& row : x) {
+    for (auto& v : row) v = s.new_var();
+  }
+  for (int p = 0; p < P; ++p) {
+    std::vector<Lit> c;
+    for (int h = 0; h < H; ++h) c.push_back(pos(x[p][h]));
+    s.add_clause(c);
+  }
+  for (int h = 0; h < H; ++h) {
+    for (int p1 = 0; p1 < P; ++p1) {
+      for (int p2 = p1 + 1; p2 < P; ++p2) s.add_clause(neg(x[p1][h]), neg(x[p2][h]));
+    }
+  }
+  EXPECT_FALSE(s.solve());
+  EXPECT_GT(s.stats().conflicts, 0u);
+}
+
+TEST(Sat, AssumptionsSelectBranch) {
+  Solver s;
+  const Var a = s.new_var(), b = s.new_var();
+  s.add_clause(pos(a), pos(b)); // a | b
+  ASSERT_TRUE(s.solve({neg(a)}));
+  EXPECT_FALSE(s.model_value(a));
+  EXPECT_TRUE(s.model_value(b));
+  ASSERT_TRUE(s.solve({neg(b)}));
+  EXPECT_TRUE(s.model_value(a));
+  // Incremental: same solver, contradictory assumptions.
+  EXPECT_FALSE(s.solve({neg(a), neg(b)}));
+  // The final conflict must mention only assumption literals.
+  for (Lit l : s.conflict_assumptions()) {
+    EXPECT_TRUE(l.var() == a || l.var() == b);
+  }
+  // Solver remains usable.
+  EXPECT_TRUE(s.solve());
+}
+
+TEST(Sat, AssumptionsDoNotPersist) {
+  Solver s;
+  const Var a = s.new_var();
+  EXPECT_TRUE(s.solve({pos(a)}));
+  EXPECT_TRUE(s.solve({neg(a)}));
+  EXPECT_TRUE(s.solve());
+}
+
+TEST(Sat, ManyAssumptions) {
+  Solver s;
+  std::vector<Var> v;
+  for (int i = 0; i < 300; ++i) v.push_back(s.new_var());
+  // Chain: v[i] -> v[i+1]
+  for (int i = 0; i + 1 < 300; ++i) s.add_clause(neg(v[i]), pos(v[i + 1]));
+  std::vector<Lit> assumps;
+  for (int i = 0; i < 299; ++i) assumps.push_back(pos(v[i]));
+  ASSERT_TRUE(s.solve(assumps));
+  EXPECT_TRUE(s.model_value(v[299]));
+  assumps.push_back(neg(v[299]));
+  EXPECT_FALSE(s.solve(assumps));
+}
+
+TEST(Sat, ConflictBudgetThrows) {
+  // A hard pigeonhole with a tiny budget must interrupt, not mis-answer.
+  Solver s;
+  constexpr int P = 9, H = 8;
+  std::vector<std::vector<Var>> x(P, std::vector<Var>(H));
+  for (auto& row : x) {
+    for (auto& v : row) v = s.new_var();
+  }
+  for (int p = 0; p < P; ++p) {
+    std::vector<Lit> c;
+    for (int h = 0; h < H; ++h) c.push_back(pos(x[p][h]));
+    s.add_clause(c);
+  }
+  for (int h = 0; h < H; ++h) {
+    for (int p1 = 0; p1 < P; ++p1) {
+      for (int p2 = p1 + 1; p2 < P; ++p2) s.add_clause(neg(x[p1][h]), neg(x[p2][h]));
+    }
+  }
+  s.set_conflict_budget(10);
+  EXPECT_THROW(s.solve(), SolverInterrupted);
+}
+
+// Randomized cross-check against brute force on small instances.
+class SatRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(SatRandom, MatchesBruteForce) {
+  Xoshiro256 rng(1000 + GetParam());
+  constexpr int kVars = 10;
+  const int kClauses = 3 + static_cast<int>(rng.below(50));
+
+  std::vector<std::vector<int>> clauses; // +v / -v encoding, 1-based
+  for (int c = 0; c < kClauses; ++c) {
+    std::vector<int> cl;
+    const int len = 1 + static_cast<int>(rng.below(3));
+    for (int i = 0; i < len; ++i) {
+      const int v = 1 + static_cast<int>(rng.below(kVars));
+      cl.push_back(rng.chance(0.5) ? v : -v);
+    }
+    clauses.push_back(cl);
+  }
+
+  // Brute force.
+  bool brute_sat = false;
+  for (unsigned m = 0; m < (1u << kVars) && !brute_sat; ++m) {
+    bool all = true;
+    for (const auto& cl : clauses) {
+      bool any = false;
+      for (int lit : cl) {
+        const bool val = (m >> (std::abs(lit) - 1)) & 1;
+        if ((lit > 0) == val) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    brute_sat = all;
+  }
+
+  Solver s;
+  std::vector<Var> vars;
+  for (int i = 0; i < kVars; ++i) vars.push_back(s.new_var());
+  bool ok = true;
+  for (const auto& cl : clauses) {
+    std::vector<Lit> lits;
+    for (int lit : cl) lits.push_back(Lit(vars[std::abs(lit) - 1], lit < 0));
+    ok = s.add_clause(lits) && ok;
+  }
+  const bool solver_sat = ok && s.solve();
+  EXPECT_EQ(solver_sat, brute_sat);
+
+  if (solver_sat) {
+    // The model must actually satisfy every clause.
+    for (const auto& cl : clauses) {
+      bool any = false;
+      for (int lit : cl) {
+        if (s.model_value(vars[std::abs(lit) - 1]) == (lit > 0)) any = true;
+      }
+      EXPECT_TRUE(any);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, SatRandom, ::testing::Range(0, 40));
+
+} // namespace
+} // namespace upec::sat

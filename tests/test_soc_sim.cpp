@@ -1,0 +1,276 @@
+// Behavioral tests of the generated Pulpissimo-style SoC, driven through the
+// CPU/system interface exactly as software would: memory read/write, all
+// peripherals, DMA copies, HWPE streaming, event routing, and — the heart of
+// the paper — arbitration contention visible as timing.
+#include <gtest/gtest.h>
+
+#include "sim/task.h"
+#include "soc/pulpissimo.h"
+#include "soc/soc_ctrl.h"
+
+namespace upec {
+namespace {
+
+using sim::BusDriver;
+using sim::idle;
+using sim::load;
+using sim::Simulator;
+using sim::store;
+using soc::AddrMap;
+using soc::Soc;
+
+class SocSim : public ::testing::Test {
+protected:
+  SocSim() : soc_(soc::build_pulpissimo()), sim_(*soc_.design), cpu_(sim_) {}
+
+  std::uint32_t base(const char* region) const { return soc_.map.region(region).base; }
+
+  Soc soc_;
+  Simulator sim_;
+  BusDriver cpu_;
+};
+
+TEST_F(SocSim, DesignValidates) { EXPECT_EQ(soc_.design->validate(), ""); }
+
+TEST_F(SocSim, NoCombinationalCycles) {
+  bool cyclic = true;
+  rtlir::topo_order_cells(*soc_.design, &cyclic);
+  EXPECT_FALSE(cyclic);
+}
+
+TEST_F(SocSim, PublicRamReadWrite) {
+  const std::uint32_t a = base(AddrMap::kPubRam);
+  cpu_.run_op(store(a + 0, 0xdeadbeef));
+  cpu_.run_op(store(a + 4, 0x12345678));
+  EXPECT_EQ(cpu_.run_op(load(a + 0)), 0xdeadbeefu);
+  EXPECT_EQ(cpu_.run_op(load(a + 4)), 0x12345678u);
+}
+
+TEST_F(SocSim, PrivateRamReadWrite) {
+  const std::uint32_t a = base(AddrMap::kPrivRam);
+  cpu_.run_op(store(a + 8, 0xcafe0001));
+  EXPECT_EQ(cpu_.run_op(load(a + 8)), 0xcafe0001u);
+}
+
+TEST_F(SocSim, RamsAreIndependent) {
+  cpu_.run_op(store(base(AddrMap::kPubRam) + 0, 0x11111111));
+  cpu_.run_op(store(base(AddrMap::kPrivRam) + 0, 0x22222222));
+  EXPECT_EQ(cpu_.run_op(load(base(AddrMap::kPubRam) + 0)), 0x11111111u);
+  EXPECT_EQ(cpu_.run_op(load(base(AddrMap::kPrivRam) + 0)), 0x22222222u);
+}
+
+TEST_F(SocSim, SocCtrlChipIdAndScratch) {
+  const std::uint32_t a = base(AddrMap::kSocCtrl);
+  EXPECT_EQ(cpu_.run_op(load(a + 0)), soc::kChipId);
+  cpu_.run_op(store(a + 4, 77));
+  cpu_.run_op(store(a + 8, 88));
+  EXPECT_EQ(cpu_.run_op(load(a + 4)), 77u);
+  EXPECT_EQ(cpu_.run_op(load(a + 8)), 88u);
+}
+
+TEST_F(SocSim, GpioDirectionOutAndPads) {
+  const std::uint32_t a = base(AddrMap::kGpio);
+  cpu_.run_op(store(a + 0, 0x00ff)); // DIR
+  cpu_.run_op(store(a + 4, 0x1234)); // OUT
+  EXPECT_EQ(cpu_.run_op(load(a + 0)), 0x00ffu);
+  EXPECT_EQ(cpu_.run_op(load(a + 4)), 0x1234u);
+  sim_.set_input("soc.pad.gpio_in", 0xbeef);
+  cpu_.drain(2); // let the pad synchronizer sample
+  EXPECT_EQ(cpu_.run_op(load(a + 8)), 0xbeefu);
+}
+
+TEST_F(SocSim, TimerCountsWhenEnabled) {
+  const std::uint32_t t = base(AddrMap::kTimer);
+  cpu_.run_op(store(t + 0x4, 0)); // COUNT = 0
+  cpu_.run_op(store(t + 0xC, 0)); // PRESCALE = 0
+  cpu_.run_op(store(t + 0x0, 1)); // CTRL.enable
+  cpu_.drain(10);
+  const std::uint32_t c1 = cpu_.run_op(load(t + 0x4));
+  EXPECT_GE(c1, 10u);
+  cpu_.run_op(store(t + 0x0, 0)); // disable
+  const std::uint32_t c2 = cpu_.run_op(load(t + 0x4));
+  cpu_.drain(10);
+  EXPECT_EQ(cpu_.run_op(load(t + 0x4)), c2) << "timer must hold when disabled";
+}
+
+TEST_F(SocSim, TimerPrescalerSlowsCounting) {
+  const std::uint32_t t = base(AddrMap::kTimer);
+  cpu_.run_op(store(t + 0x4, 0));
+  cpu_.run_op(store(t + 0xC, 3)); // divide by 4
+  cpu_.run_op(store(t + 0x0, 1));
+  cpu_.drain(40);
+  cpu_.run_op(store(t + 0x0, 0));
+  const std::uint32_t c = cpu_.run_op(load(t + 0x4));
+  EXPECT_GE(c, 8u);
+  EXPECT_LE(c, 13u) << "prescaler 3 should quarter the rate";
+}
+
+TEST_F(SocSim, TimerOverflowSticky) {
+  const std::uint32_t t = base(AddrMap::kTimer);
+  cpu_.run_op(store(t + 0x4, 0));  // COUNT
+  cpu_.run_op(store(t + 0x8, 5));  // CMP
+  cpu_.run_op(store(t + 0xC, 0));  // PRESCALE
+  cpu_.run_op(store(t + 0x0, 1));  // enable
+  cpu_.drain(20);
+  EXPECT_EQ(cpu_.run_op(load(t + 0x10)) & 1, 1u) << "overflow flag set";
+  cpu_.run_op(store(t + 0x10, 1)); // W1C
+  cpu_.run_op(store(t + 0x0, 0));
+  EXPECT_EQ(cpu_.run_op(load(t + 0x10)) & 1, 0u) << "overflow flag cleared";
+}
+
+TEST_F(SocSim, UartBusyWhileTransmitting) {
+  const std::uint32_t u = base(AddrMap::kUart);
+  cpu_.run_op(store(u + 0x8, 2));    // BAUD
+  cpu_.run_op(store(u + 0x0, 0x41)); // TXDATA
+  EXPECT_EQ(cpu_.run_op(load(u + 0x4)) & 1, 1u) << "busy after send";
+  EXPECT_EQ(cpu_.run_op(load(u + 0x0)), 0x41u);
+  cpu_.drain(40);
+  EXPECT_EQ(cpu_.run_op(load(u + 0x4)) & 1, 0u) << "idle after frame";
+}
+
+TEST_F(SocSim, DmaCopiesMemory) {
+  const std::uint32_t ram = base(AddrMap::kPubRam);
+  const std::uint32_t d = base(AddrMap::kDma);
+  for (std::uint32_t i = 0; i < 4; ++i) cpu_.run_op(store(ram + 4 * i, 0xa0 + i));
+
+  cpu_.run(sim::TaskScript{
+      store(d + 0x0, ram),          // SRC
+      store(d + 0x4, ram + 0x40),   // DST
+      store(d + 0x8, 4),            // LEN
+      store(d + 0xC, 1),            // go
+  });
+  cpu_.drain(60);
+  EXPECT_EQ(cpu_.run_op(load(d + 0x10)) & 1, 0u) << "DMA idle after copy";
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(cpu_.run_op(load(ram + 0x40 + 4 * i)), 0xa0u + i) << "word " << i;
+  }
+}
+
+TEST_F(SocSim, DmaDoneEventLatched) {
+  const std::uint32_t ram = base(AddrMap::kPubRam);
+  const std::uint32_t d = base(AddrMap::kDma);
+  const std::uint32_t e = base(AddrMap::kEvent);
+  cpu_.run(sim::TaskScript{store(e + 0x0, 0x7), // clear pending
+                           store(d + 0x0, ram), store(d + 0x4, ram + 0x20),
+                           store(d + 0x8, 2), store(d + 0xC, 1)});
+  cpu_.drain(40);
+  EXPECT_EQ(cpu_.run_op(load(e + 0x0)) & 1, 1u) << "dma_done pending bit";
+  cpu_.run_op(store(e + 0x0, 1));
+  EXPECT_EQ(cpu_.run_op(load(e + 0x0)) & 1, 0u) << "W1C clears";
+}
+
+TEST_F(SocSim, HwpeOverwritesPrimedRegion) {
+  const std::uint32_t ram = base(AddrMap::kPubRam);
+  const std::uint32_t h = base(AddrMap::kHwpe);
+  for (std::uint32_t i = 0; i < 6; ++i) cpu_.run_op(store(ram + 4 * i, 0));
+
+  cpu_.run(sim::TaskScript{
+      store(h + 0x0, ram), // DST
+      store(h + 0x4, 6),   // LEN
+      store(h + 0x8, 1),   // go
+  });
+  cpu_.drain(40);
+  EXPECT_EQ(cpu_.run_op(load(h + 0xC)) & 1, 0u) << "HWPE done";
+  EXPECT_EQ(cpu_.run_op(load(h + 0x10)), 6u) << "PROGRESS = LEN";
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(cpu_.run_op(load(ram + 4 * i)), i + 1) << "non-zero pattern at word " << i;
+  }
+}
+
+TEST_F(SocSim, HwpeDoneRoutesToTimerStart) {
+  const std::uint32_t ram = base(AddrMap::kPubRam);
+  const std::uint32_t h = base(AddrMap::kHwpe);
+  const std::uint32_t e = base(AddrMap::kEvent);
+  const std::uint32_t t = base(AddrMap::kTimer);
+  cpu_.run(sim::TaskScript{
+      store(t + 0x4, 0), store(t + 0xC, 0), // timer ready, disabled
+      store(e + 0x4, 2),                    // TRIGSEL = hwpe_done
+      store(h + 0x0, ram), store(h + 0x4, 2), store(h + 0x8, 1),
+  });
+  cpu_.drain(30);
+  const std::uint32_t c1 = cpu_.run_op(load(t + 0x4));
+  EXPECT_GT(c1, 0u) << "timer started by hwpe_done event";
+}
+
+// The contention effect at the core of the paper: a CPU access stream to the
+// public RAM steals arbitration slots from the HWPE (CPU has priority), so
+// the HWPE makes strictly less progress than in an idle window.
+TEST_F(SocSim, CpuContentionDelaysHwpe) {
+  const std::uint32_t ram = base(AddrMap::kPubRam);
+  const std::uint32_t h = base(AddrMap::kHwpe);
+
+  auto run_window = [&](bool contend) {
+    Simulator s(*soc_.design);
+    BusDriver c(s);
+    c.run(sim::TaskScript{store(h + 0x0, ram), store(h + 0x4, 16), store(h + 0x8, 1)});
+    const std::uint64_t window_end = s.cycle() + 16;
+    if (contend) {
+      while (s.cycle() < window_end) c.run_op(store(ram + 0x40, 1));
+    }
+    // Align both runs to the same absolute sampling cycle.
+    while (s.cycle() < window_end + 8) c.run_op(idle(1));
+    return static_cast<std::uint32_t>(c.run_op(load(h + 0x10)));
+  };
+
+  const std::uint32_t progress_idle = run_window(false);
+  const std::uint32_t progress_contended = run_window(true);
+  EXPECT_GT(progress_idle, progress_contended)
+      << "victim contention must delay the HWPE stream";
+}
+
+// The countermeasure path: accesses to the *private* RAM do not contend with
+// the HWPE (separate crossbar), so progress is unaffected.
+TEST_F(SocSim, PrivateAccessesDoNotDelayHwpe) {
+  const std::uint32_t ram = base(AddrMap::kPubRam);
+  const std::uint32_t priv = base(AddrMap::kPrivRam);
+  const std::uint32_t h = base(AddrMap::kHwpe);
+
+  auto run_window = [&](bool contend_priv) {
+    Simulator s(*soc_.design);
+    BusDriver c(s);
+    c.run(sim::TaskScript{store(h + 0x0, ram), store(h + 0x4, 16), store(h + 0x8, 1)});
+    const std::uint64_t window_end = s.cycle() + 16;
+    if (contend_priv) {
+      while (s.cycle() < window_end) c.run_op(store(priv + 0x10, 7));
+    }
+    // Align both runs to the same absolute sampling cycle.
+    while (s.cycle() < window_end + 8) c.run_op(idle(1));
+    return static_cast<std::uint32_t>(c.run_op(load(h + 0x10)));
+  };
+
+  EXPECT_EQ(run_window(false), run_window(true))
+      << "private-RAM traffic must not influence public-side HWPE progress";
+}
+
+TEST_F(SocSim, DmaPrivateAccessWorksOnBaselineSoc) {
+  const std::uint32_t priv = base(AddrMap::kPrivRam);
+  const std::uint32_t pub = base(AddrMap::kPubRam);
+  const std::uint32_t d = base(AddrMap::kDma);
+  cpu_.run_op(store(priv + 0, 0x5ec2e7));
+  cpu_.run(sim::TaskScript{store(d + 0x0, priv), store(d + 0x4, pub + 0x50),
+                           store(d + 0x8, 1), store(d + 0xC, 1)});
+  cpu_.drain(40);
+  EXPECT_EQ(cpu_.run_op(load(pub + 0x50)), 0x5ec2e7u)
+      << "baseline SoC: DMA can exfiltrate private memory (the gap the "
+         "countermeasure closes)";
+}
+
+TEST_F(SocSim, HwGuardBlocksDmaPrivateAccess) {
+  soc::SocConfig cfg;
+  cfg.hw_private_guard = true;
+  Soc guarded = soc::build_pulpissimo(cfg);
+  Simulator s(*guarded.design);
+  BusDriver c(s);
+  const std::uint32_t priv = guarded.map.region(AddrMap::kPrivRam).base;
+  const std::uint32_t pub = guarded.map.region(AddrMap::kPubRam).base;
+  const std::uint32_t d = guarded.map.region(AddrMap::kDma).base;
+  c.run_op(store(priv + 0, 0x5ec2e7));
+  c.run_op(store(pub + 0x50, 0));
+  c.run(sim::TaskScript{store(d + 0x0, priv), store(d + 0x4, pub + 0x50),
+                        store(d + 0x8, 1), store(d + 0xC, 1)});
+  c.drain(40);
+  EXPECT_EQ(c.run_op(load(pub + 0x50)), 0u) << "guarded SoC: private read never completes";
+}
+
+} // namespace
+} // namespace upec

@@ -1,0 +1,83 @@
+// StateSet semantics and the report renderers.
+#include <gtest/gtest.h>
+
+#include "soc/pulpissimo.h"
+#include "upec/report.h"
+#include "upec/state_sets.h"
+
+namespace upec {
+namespace {
+
+TEST(StateSet, BasicOps) {
+  StateSet s(10, false);
+  EXPECT_EQ(s.size(), 0u);
+  s.insert(3);
+  s.insert(3);
+  s.insert(7);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.contains(4));
+  s.remove(3);
+  s.remove(3);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.to_vector(), std::vector<rtlir::StateVarId>{7});
+}
+
+TEST(StateSet, FullAndEquality) {
+  StateSet a(5, true), b(5, true);
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_EQ(a, b);
+  a.remove(2);
+  EXPECT_NE(a, b);
+  b.remove(2);
+  EXPECT_EQ(a, b);
+  a.remove_all({0, 1, 3, 4});
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(StateSet, SNotVictimExcludesPrefixes) {
+  soc::SocConfig cfg;
+  cfg.with_cpu = true;
+  cfg.pub_ram_words = 8;
+  cfg.priv_ram_words = 8;
+  cfg.imem_words = 16;
+  const soc::Soc soc = soc::build_pulpissimo(cfg);
+  const rtlir::StateVarTable svt(*soc.design);
+
+  const StateSet s = s_not_victim(svt); // default excludes "soc.cpu."
+  std::size_t cpu_vars = 0;
+  for (rtlir::StateVarId id = 0; id < svt.size(); ++id) {
+    const bool is_cpu = svt.name(id).rfind("soc.cpu.", 0) == 0;
+    cpu_vars += is_cpu;
+    EXPECT_EQ(s.contains(id), !is_cpu) << svt.name(id);
+  }
+  // The core contributes its pipeline registers plus imem and regfile words:
+  // Def. 1 (1) excludes all of them from S_¬victim.
+  EXPECT_GE(cpu_vars, 16u + 32u + 5u);
+}
+
+TEST(Report, SecureAndVulnerableRendering) {
+  soc::SocConfig cfg;
+  cfg.pub_ram_words = 16;
+  cfg.priv_ram_words = 8;
+  const soc::Soc soc = soc::build_pulpissimo(cfg);
+  {
+    UpecContext ctx(soc, countermeasure_options());
+    const Alg1Result r = run_alg1(ctx);
+    const std::string report = render_report(ctx, r);
+    EXPECT_NE(report.find("verdict: secure"), std::string::npos);
+    EXPECT_NE(report.find("inductive set"), std::string::npos);
+    EXPECT_NE(iteration_table(ctx, r).find("holds"), std::string::npos);
+  }
+  {
+    UpecContext ctx(soc);
+    const Alg1Result r = run_alg1(ctx);
+    const std::string report = render_report(ctx, r);
+    EXPECT_NE(report.find("verdict: vulnerable"), std::string::npos);
+    EXPECT_NE(report.find("S_cex ∩ S_pers"), std::string::npos);
+    EXPECT_NE(report.find("counterexample waveform"), std::string::npos);
+  }
+}
+
+} // namespace
+} // namespace upec
