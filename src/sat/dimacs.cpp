@@ -1,5 +1,11 @@
 #include "sat/dimacs.h"
 
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <string>
+
 namespace upec::sat {
 
 namespace {
@@ -19,6 +25,72 @@ void write_dimacs(std::ostream& os, const Solver& solver, const std::vector<Lit>
     os << "0\n";
   });
   for (Lit a : assumptions) os << as_dimacs(a) << " 0\n";
+}
+
+bool read_dimacs(std::istream& is, Solver& solver) {
+  // Lit packs a variable as 2*v+sign into int32_t, so the largest safe
+  // zero-based variable index is (INT32_MAX - 1) / 2.
+  constexpr long kMaxVars = (std::numeric_limits<Var>::max() - 1) / 2;
+  bool saw_header = false;
+  long declared_vars = 0;
+  long declared_clauses = 0;
+  std::vector<std::vector<Lit>> clauses; // staged until the whole file parses
+  std::vector<Lit> clause;
+  std::string line;
+
+  // Line-based so that comments are recognized only at line starts (the
+  // DIMACS convention) — a stray "c2" typo'd literal mid-clause must be a
+  // parse error, not a silently swallowed comment.
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok)) continue;  // blank line
+    if (tok[0] == 'c') continue; // comment line
+    if (tok == "p") {
+      std::string fmt, extra;
+      if (saw_header || !(ls >> fmt >> declared_vars >> declared_clauses) ||
+          fmt != "cnf" || (ls >> extra) || declared_vars < 0 ||
+          declared_vars > kMaxVars || declared_clauses < 0) {
+        return false;
+      }
+      saw_header = true;
+      continue;
+    }
+
+    // Clause literals; a clause may span lines, so keep accumulating.
+    do {
+      char* end = nullptr;
+      errno = 0;
+      const long v = std::strtol(tok.c_str(), &end, 10);
+      if (!saw_header || end == tok.c_str() || *end != '\0' || errno == ERANGE) {
+        return false;
+      }
+      // Bound before negating: -LONG_MIN is signed-overflow UB.
+      if (v > kMaxVars || v < -kMaxVars) return false;
+      if (v == 0) {
+        if (static_cast<long>(clauses.size()) >= declared_clauses) return false;
+        clauses.push_back(std::move(clause));
+        clause.clear();
+        continue;
+      }
+      const long var1 = v < 0 ? -v : v;
+      if (var1 > declared_vars) return false; // literal outside declared range
+      clause.push_back(Lit(static_cast<Var>(var1 - 1), v < 0));
+    } while (ls >> tok);
+  }
+  // A final clause without its 0 terminator, or a clause count that does not
+  // match the header (e.g. a file truncated at a line boundary), is malformed.
+  if (!saw_header || !clause.empty() ||
+      static_cast<long>(clauses.size()) != declared_clauses) {
+    return false;
+  }
+
+  // Only mutate the solver once the whole file validated: malformed input
+  // (including a corrupt header declaring a huge variable count) leaves the
+  // solver untouched instead of half-loaded or OOM-killed mid-allocation.
+  while (solver.num_vars() < declared_vars) solver.new_var();
+  for (const auto& c : clauses) solver.add_clause(c);
+  return true;
 }
 
 } // namespace upec::sat

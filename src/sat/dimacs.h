@@ -1,8 +1,10 @@
-// DIMACS CNF export: writes the solver's problem clauses in the standard
-// format so instances can be cross-checked with external SAT solvers or
-// archived alongside experiment results.
+// DIMACS CNF import/export: writes the solver's problem clauses in the
+// standard format so instances can be cross-checked with external SAT
+// solvers or archived alongside experiment results, and reads instances
+// back for regression testing and replaying archived queries.
 #pragma once
 
+#include <istream>
 #include <ostream>
 
 #include "sat/solver.h"
@@ -14,5 +16,19 @@ namespace upec::sat {
 // into a standalone instance).
 void write_dimacs(std::ostream& os, const Solver& solver,
                   const std::vector<Lit>& assumptions = {});
+
+// Reads a DIMACS CNF instance into `solver`, creating the variables the
+// header declares (the solver must be freshly constructed or at least have
+// no conflicting variable numbering). Comment lines (any line whose first
+// token starts with 'c') are accepted anywhere and clauses may span lines,
+// but the reader is strict where it protects the solver or would otherwise
+// mask corruption: literals outside the header's declared variable range,
+// variable counts that cannot be packed into `Lit`, clauses before the
+// header, and a clause count that disagrees with the header (e.g. a file
+// truncated at a line boundary) all return false, and a false return
+// guarantees the solver was not mutated (clauses are staged until the whole
+// file validates). A trivially-UNSAT instance still parses successfully
+// (the solver just records ok == false).
+bool read_dimacs(std::istream& is, Solver& solver);
 
 } // namespace upec::sat

@@ -50,6 +50,35 @@ TEST(Rng, Deterministic) {
   EXPECT_NE(a2.next(), c.next());
 }
 
+TEST(Rng, GoldenSequenceIsStableAcrossRuns) {
+  // Pinned outputs of xoshiro256** with splitmix64 seeding from seed 42.
+  // Same-process equality (above) can't catch a generator change that shifts
+  // every run identically; these literals do. Every randomized test in the
+  // tree seeds explicitly, so this is what makes them reproducible run to
+  // run and machine to machine.
+  const std::uint64_t golden[] = {
+      0x15780b2e0c2ec716ULL, 0x6104d9866d113a7eULL, 0xae17533239e499a1ULL,
+      0xecb8ad4703b360a1ULL, 0xfde6dc7fe2ec5e64ULL,
+  };
+  Xoshiro256 rng(42);
+  for (std::uint64_t expected : golden) EXPECT_EQ(rng.next(), expected);
+
+  // The default seed is itself fixed, so even unseeded construction is
+  // deterministic (no time()/random_device anywhere).
+  Xoshiro256 def;
+  EXPECT_EQ(def.next(), 0x422ea740d0977210ULL);
+}
+
+TEST(Rng, DerivedDrawsAreReproducible) {
+  // below() and chance() are pure functions of the stream: two generators
+  // with the same seed must agree on long mixed-draw sequences.
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(a.below(97), b.below(97));
+    EXPECT_EQ(a.chance(0.3), b.chance(0.3));
+  }
+}
+
 TEST(Rng, BelowIsBounded) {
   Xoshiro256 rng(7);
   for (int i = 0; i < 1000; ++i) {

@@ -167,5 +167,64 @@ TEST(CnfBuilder, SingleBitFolds) {
   EXPECT_EQ(cnf.mux(y, cnf.lit_true(), cnf.lit_false()), y);
 }
 
+// Exhaustive truth tables for every single-bit Tseitin gate over FREE
+// variables (no constant folding path): for each input row the gate output
+// must be forced to the expected value, checked both ways — the expected
+// polarity is satisfiable and the flipped polarity is UNSAT.
+TEST(CnfBuilder, GateTruthTables) {
+  struct Gate {
+    const char* name;
+    Lit (CnfBuilder::*fn)(Lit, Lit);
+    bool table[4]; // indexed by a*2 + b
+  };
+  const Gate gates[] = {
+      {"and2", &CnfBuilder::and2, {false, false, false, true}},
+      {"or2", &CnfBuilder::or2, {false, true, true, true}},
+      {"xor2", &CnfBuilder::xor2, {false, true, true, false}},
+      {"xnor2", &CnfBuilder::xnor2, {true, false, false, true}},
+  };
+  for (const Gate& g : gates) {
+    sat::Solver solver;
+    CnfBuilder cnf(solver);
+    const Lit a = cnf.fresh();
+    const Lit b = cnf.fresh();
+    const Lit out = (cnf.*g.fn)(a, b);
+
+    for (int row = 0; row < 4; ++row) {
+      const bool va = (row >> 1) & 1;
+      const bool vb = row & 1;
+      const bool expect = g.table[row];
+      const std::vector<Lit> in = {va ? a : ~a, vb ? b : ~b};
+      std::vector<Lit> good = in, bad = in;
+      good.push_back(expect ? out : ~out);
+      bad.push_back(expect ? ~out : out);
+      EXPECT_TRUE(solver.solve(good)) << g.name << " row " << row;
+      EXPECT_FALSE(solver.solve(bad)) << g.name << " row " << row;
+    }
+  }
+}
+
+// Same exhaustive check for the 3-input mux(sel, t, f).
+TEST(CnfBuilder, MuxTruthTable) {
+  sat::Solver solver;
+  CnfBuilder cnf(solver);
+  const Lit sel = cnf.fresh();
+  const Lit t = cnf.fresh();
+  const Lit f = cnf.fresh();
+  const Lit out = cnf.mux(sel, t, f);
+  for (int row = 0; row < 8; ++row) {
+    const bool vs = (row >> 2) & 1;
+    const bool vt = (row >> 1) & 1;
+    const bool vf = row & 1;
+    const bool expect = vs ? vt : vf;
+    const std::vector<Lit> in = {vs ? sel : ~sel, vt ? t : ~t, vf ? f : ~f};
+    std::vector<Lit> good = in, bad = in;
+    good.push_back(expect ? out : ~out);
+    bad.push_back(expect ? ~out : out);
+    EXPECT_TRUE(solver.solve(good)) << "mux row " << row;
+    EXPECT_FALSE(solver.solve(bad)) << "mux row " << row;
+  }
+}
+
 } // namespace
 } // namespace upec::encode

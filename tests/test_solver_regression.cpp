@@ -1,0 +1,214 @@
+// Regression suite for the CDCL core driven through the DIMACS layer: small
+// hand-written instances with known SAT/UNSAT answers, unit-propagation
+// chains, conflict-learning edge cases, and write->read round-trips.
+#include "sat/dimacs.h"
+#include "sat/solver.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace upec::sat {
+namespace {
+
+Lit pos(Var v) { return Lit(v, false); }
+Lit neg(Var v) { return Lit(v, true); }
+
+// Parses `text` into a fresh solver; fails the test on malformed input.
+void load(Solver& s, const std::string& text) {
+  std::istringstream is(text);
+  ASSERT_TRUE(read_dimacs(is, s)) << "malformed DIMACS:\n" << text;
+}
+
+TEST(SolverRegression, HandWrittenSatInstance) {
+  Solver s;
+  load(s, "c simple satisfiable 2-SAT instance\n"
+          "p cnf 3 4\n"
+          "1 2 0\n"
+          "-1 3 0\n"
+          "-2 -3 0\n"
+          "1 -3 0\n");
+  EXPECT_EQ(s.num_vars(), 3);
+  EXPECT_TRUE(s.solve());
+  EXPECT_EQ(s.validate_model(), 0u);
+}
+
+TEST(SolverRegression, HandWrittenUnsatInstance) {
+  // All four sign combinations over two variables: classic minimal UNSAT.
+  Solver s;
+  load(s, "p cnf 2 4\n"
+          "1 2 0\n"
+          "1 -2 0\n"
+          "-1 2 0\n"
+          "-1 -2 0\n");
+  EXPECT_FALSE(s.solve());
+}
+
+TEST(SolverRegression, UnitPropagationChain) {
+  // 1 is forced; implications 1->2->3->4 must all propagate without a
+  // single decision.
+  Solver s;
+  load(s, "p cnf 4 4\n"
+          "1 0\n"
+          "-1 2 0\n"
+          "-2 3 0\n"
+          "-3 4 0\n");
+  EXPECT_TRUE(s.solve());
+  for (Var v = 0; v < 4; ++v) EXPECT_TRUE(s.model_value(v)) << "var " << v;
+  // Everything is forced by unit propagation: no conflict/backtrack search.
+  EXPECT_EQ(s.stats().conflicts, 0u);
+}
+
+TEST(SolverRegression, ContradictoryUnitsAreTriviallyUnsat) {
+  Solver s;
+  load(s, "p cnf 1 2\n"
+          "1 0\n"
+          "-1 0\n");
+  EXPECT_FALSE(s.okay());
+  EXPECT_FALSE(s.solve());
+}
+
+TEST(SolverRegression, UnitChainIntoConflict) {
+  // Propagation alone (no decisions) derives 2 and 3 from 1, then clause
+  // (-2 -3) is violated: level-0 conflict, UNSAT without search.
+  Solver s;
+  load(s, "p cnf 3 4\n"
+          "1 0\n"
+          "-1 2 0\n"
+          "-1 3 0\n"
+          "-2 -3 0\n");
+  EXPECT_FALSE(s.solve());
+}
+
+TEST(SolverRegression, PigeonholeForcesConflictLearning) {
+  // PHP(4,3): 4 pigeons, 3 holes. Var p*3+h+1 = "pigeon p in hole h".
+  // UNSAT, and small enough to finish instantly, but requires real search:
+  // the solver must go through conflicts and learn clauses.
+  std::ostringstream cnf;
+  cnf << "p cnf 12 22\n";
+  for (int p = 0; p < 4; ++p) { // every pigeon somewhere
+    for (int h = 0; h < 3; ++h) cnf << (p * 3 + h + 1) << ' ';
+    cnf << "0\n";
+  }
+  for (int h = 0; h < 3; ++h) { // no two pigeons share a hole
+    for (int p1 = 0; p1 < 4; ++p1) {
+      for (int p2 = p1 + 1; p2 < 4; ++p2) {
+        cnf << -(p1 * 3 + h + 1) << ' ' << -(p2 * 3 + h + 1) << " 0\n";
+      }
+    }
+  }
+  Solver s;
+  load(s, cnf.str());
+  EXPECT_FALSE(s.solve());
+  EXPECT_GT(s.stats().conflicts, 0u);
+  EXPECT_GT(s.stats().learned_clauses, 0u);
+}
+
+TEST(SolverRegression, SolvableUnderAssumptionsStaysIncremental) {
+  // (1 or 2) with assumption -1 forces 2; assuming both negated is UNSAT
+  // and the final conflict must point at the assumptions.
+  Solver s;
+  load(s, "p cnf 2 1\n"
+          "1 2 0\n");
+  EXPECT_TRUE(s.solve({neg(0)}));
+  EXPECT_TRUE(s.model_value(Var{1}));
+  EXPECT_FALSE(s.solve({neg(0), neg(1)}));
+  EXPECT_FALSE(s.conflict_assumptions().empty());
+  EXPECT_TRUE(s.solve()); // clauses persist, solver still usable
+}
+
+TEST(SolverRegression, RoundTripPreservesVerdictSat) {
+  Solver a;
+  load(a, "p cnf 4 5\n"
+          "1 -2 0\n"
+          "2 3 4 0\n"
+          "-3 -4 0\n"
+          "-1 3 0\n"
+          "2 -4 0\n");
+  EXPECT_TRUE(a.solve());
+
+  std::ostringstream dumped;
+  write_dimacs(dumped, a);
+
+  Solver b;
+  load(b, dumped.str());
+  EXPECT_EQ(b.num_vars(), a.num_vars());
+  EXPECT_TRUE(b.solve());
+  EXPECT_EQ(b.validate_model(), 0u);
+}
+
+TEST(SolverRegression, RoundTripPreservesVerdictUnsat) {
+  Solver a;
+  load(a, "p cnf 3 8\n"
+          "1 2 3 0\n" "1 2 -3 0\n" "1 -2 3 0\n" "1 -2 -3 0\n"
+          "-1 2 3 0\n" "-1 2 -3 0\n" "-1 -2 3 0\n" "-1 -2 -3 0\n");
+
+  std::ostringstream dumped;
+  write_dimacs(dumped, a);
+
+  Solver b;
+  load(b, dumped.str());
+  EXPECT_FALSE(b.solve());
+  EXPECT_FALSE(a.solve());
+}
+
+TEST(SolverRegression, RoundTripFreezesAssumptionsAsUnits) {
+  // write_dimacs(assumptions) appends the assumptions as unit clauses: the
+  // reloaded standalone instance must agree with solve-under-assumptions.
+  Solver a;
+  const Var x = a.new_var();
+  const Var y = a.new_var();
+  a.add_clause(pos(x), pos(y));
+  a.add_clause(neg(x), neg(y));
+  ASSERT_TRUE(a.solve({pos(x)}));
+
+  std::ostringstream dumped;
+  write_dimacs(dumped, a, {pos(x)});
+
+  Solver b;
+  load(b, dumped.str());
+  EXPECT_TRUE(b.solve());
+  EXPECT_TRUE(b.model_value(x));
+  EXPECT_FALSE(b.model_value(y));
+}
+
+TEST(SolverRegression, ReaderRejectsMalformedInput) {
+  const char* bad[] = {
+      "1 2 0\n",                // clause before header
+      "p cnf 2 1\n1 2\n",       // missing 0 terminator
+      "p cnf 2 1\n1 x 0\n",     // non-integer literal
+      "p dnf 2 1\n1 2 0\n",     // wrong format tag
+      "p cnf 2\n1 2 0\n",       // truncated header must not eat a literal
+      "p cnf 2 1 junk\n1 0\n",  // trailing junk on the header line
+      "p cnf 1 1\np cnf 1 1\n1 0\n",         // duplicate header
+      "p cnf 3 2\n1 c2 0\n3 0\n",            // typo'd literal is not a comment
+      "p cnf 2 2\n1 0\n",                    // fewer clauses than declared
+      "p cnf 1 1\n1 0\n1 0\n",               // more clauses than declared
+      "p cnf 2 1\n3 0\n",                    // literal outside declared range
+      "p cnf 2 1\n4294967296 0\n",           // literal exceeds Var range
+      "p cnf 9999999999 0\n",                // declared vars exceed Lit packing
+      "p cnf 2 1\n99999999999999999999 0\n", // strtol overflow
+      "p cnf 2 1\n-9223372036854775808 0\n", // LONG_MIN: negation must not UB
+  };
+  for (const char* text : bad) {
+    Solver s;
+    std::istringstream is(text);
+    EXPECT_FALSE(read_dimacs(is, s)) << "accepted malformed:\n" << text;
+  }
+}
+
+TEST(SolverRegression, ReaderAcceptsCommentsAndMultiLineClauses) {
+  Solver s;
+  load(s, "c leading comment\n"
+          "c---- separator style with no space after the c ----\n"
+          "p cnf 3 2\n"
+          "c mid-stream comment\n"
+          "1 2\n"
+          "3 0\n"
+          "-1 -2 -3 0\n");
+  EXPECT_TRUE(s.solve());
+  EXPECT_EQ(s.validate_model(), 0u);
+}
+
+} // namespace
+} // namespace upec::sat
