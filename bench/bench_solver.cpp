@@ -8,6 +8,7 @@
 //  - CDCL throughput on the SoC transition relation and on classic hard
 //    instances (pigeonhole), via google-benchmark timing loops.
 #include <benchmark/benchmark.h>
+#include "sat/solver.h"
 
 #include <cstdio>
 

@@ -4,15 +4,15 @@
 
 namespace upec::encode {
 
-CnfBuilder::CnfBuilder(sat::Solver& solver) : solver_(solver) {
-  const sat::Var v = solver_.new_var();
+CnfBuilder::CnfBuilder(sat::ClauseSink& sink) : sink_(sink) {
+  const sat::Var v = sink_.new_var();
   true_ = sat::mk_lit(v);
-  solver_.add_clause(true_);
+  sink_.add_clause(true_);
 }
 
 Lit CnfBuilder::fresh() {
   ++aux_vars_;
-  return sat::mk_lit(solver_.new_var());
+  return sat::mk_lit(sink_.new_var());
 }
 
 Bits CnfBuilder::fresh_vec(unsigned width) {
@@ -248,8 +248,8 @@ Bits CnfBuilder::v_zext(const Bits& a, unsigned width) {
 }
 
 void CnfBuilder::assert_equal(Lit a, Lit b) {
-  solver_.add_clause(~a, b);
-  solver_.add_clause(a, ~b);
+  sink_.add_clause(~a, b);
+  sink_.add_clause(a, ~b);
 }
 
 void CnfBuilder::assert_equal(const Bits& a, const Bits& b) {
@@ -260,8 +260,8 @@ void CnfBuilder::assert_equal(const Bits& a, const Bits& b) {
 void CnfBuilder::imply_equal(Lit cond, const Bits& a, const Bits& b) {
   assert(a.size() == b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
-    solver_.add_clause({~cond, ~a[i], b[i]});
-    solver_.add_clause({~cond, a[i], ~b[i]});
+    sink_.add_clause({~cond, ~a[i], b[i]});
+    sink_.add_clause({~cond, a[i], ~b[i]});
   }
 }
 

@@ -11,7 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "sat/solver.h"
+#include "sat/clause_sink.h"
 #include "util/bitvec.h"
 
 namespace upec::encode {
@@ -21,9 +21,12 @@ using Bits = std::vector<Lit>;
 
 class CnfBuilder {
 public:
-  explicit CnfBuilder(sat::Solver& solver);
+  // Emits into any ClauseSink: a live Solver, a recording CnfStore, or a
+  // TeeSink feeding both. The builder never solves — solving is a backend
+  // concern (sat/backend.h).
+  explicit CnfBuilder(sat::ClauseSink& sink);
 
-  sat::Solver& solver() { return solver_; }
+  sat::ClauseSink& sink() { return sink_; }
 
   Lit lit_true() const { return true_; }
   Lit lit_false() const { return ~true_; }
@@ -65,8 +68,8 @@ public:
   Lit v_red_and(const Bits& a) { return and_all(a); }
 
   // Clause sugar.
-  void add_clause(const std::vector<Lit>& c) { solver_.add_clause(c); }
-  void imply(Lit a, Lit b) { solver_.add_clause(~a, b); }
+  void add_clause(const std::vector<Lit>& c) { sink_.add_clause(c); }
+  void imply(Lit a, Lit b) { sink_.add_clause(~a, b); }
   void assert_equal(Lit a, Lit b);
   void assert_equal(const Bits& a, const Bits& b);
   // cond -> (a == b), bit-wise.
@@ -77,15 +80,15 @@ public:
 
 private:
   void clause(Lit a, Lit b) {
-    solver_.add_clause(a, b);
+    sink_.add_clause(a, b);
     ++gate_clauses_;
   }
   void clause(Lit a, Lit b, Lit c) {
-    solver_.add_clause(a, b, c);
+    sink_.add_clause(a, b, c);
     ++gate_clauses_;
   }
 
-  sat::Solver& solver_;
+  sat::ClauseSink& sink_;
   Lit true_;
   std::uint64_t aux_vars_ = 0;
   std::uint64_t gate_clauses_ = 0;

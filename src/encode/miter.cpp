@@ -4,10 +4,9 @@
 
 namespace upec::encode {
 
-Miter::Miter(sat::Solver& solver, const rtlir::Design& design, const rtlir::StateVarTable& svt,
+Miter::Miter(sat::ClauseSink& sink, const rtlir::Design& design, const rtlir::StateVarTable& svt,
              MiterOptions options)
-    : solver_(solver),
-      cnf_(solver),
+    : cnf_(sink),
       svt_(svt),
       options_(std::move(options)),
       a_(cnf_, design, svt, "a"),
@@ -97,21 +96,25 @@ Lit Miter::diff_literal(rtlir::StateVarId sv, unsigned frame) {
   return d;
 }
 
-std::uint64_t Miter::model_value(const Bits& image) const {
+std::uint64_t Miter::model_value(const sat::ModelSource& model, const Bits& image) const {
   std::uint64_t v = 0;
   for (std::size_t i = 0; i < image.size(); ++i) {
-    if (solver_.model_value(image[i])) v |= 1ULL << i;
+    if (model.model_value(image[i])) v |= 1ULL << i;
   }
   return v;
 }
 
-bool Miter::lit_in_model(Lit l) const { return solver_.model_value(l); }
+bool Miter::lit_in_model(Lit l) const {
+  assert(model_ != nullptr);
+  return model_->model_value(l);
+}
 
-bool Miter::differs_in_model(rtlir::StateVarId sv, unsigned frame) {
+bool Miter::differs_in_model(const sat::ModelSource& model, rtlir::StateVarId sv,
+                             unsigned frame) {
   const Lit ex = exempt_lit(sv);
-  if (!cnf_.is_false(ex) && solver_.model_value(ex)) return false;
-  const std::uint64_t va = model_value(a_.state_at(frame, sv));
-  const std::uint64_t vb = model_value(b_.state_at(frame, sv));
+  if (!cnf_.is_false(ex) && model.model_value(ex)) return false;
+  const std::uint64_t va = model_value(model, a_.state_at(frame, sv));
+  const std::uint64_t vb = model_value(model, b_.state_at(frame, sv));
   return va != vb;
 }
 

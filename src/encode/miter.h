@@ -20,12 +20,14 @@
 // independent images so the Victim_Task_Executing() macro can constrain them.
 #pragma once
 
+#include <cassert>
 #include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "encode/unroller.h"
+#include "sat/solver.h"
 
 namespace upec::encode {
 
@@ -38,8 +40,18 @@ struct MiterOptions {
 
 class Miter {
 public:
-  Miter(sat::Solver& solver, const rtlir::Design& design, const rtlir::StateVarTable& svt,
+  // Encodes into an arbitrary clause sink (a recording CnfStore, a tee into
+  // store + solver, ...). Model inspection requires a model source — install
+  // one with set_model_source() or use the per-call overloads below.
+  Miter(sat::ClauseSink& sink, const rtlir::Design& design, const rtlir::StateVarTable& svt,
         MiterOptions options);
+
+  // Single-solver convenience: encode into `solver` and read models from it.
+  Miter(sat::Solver& solver, const rtlir::Design& design, const rtlir::StateVarTable& svt,
+        MiterOptions options)
+      : Miter(static_cast<sat::ClauseSink&>(solver), design, svt, std::move(options)) {
+    model_ = &solver;
+  }
 
   CnfBuilder& cnf() { return cnf_; }
   UnrolledInstance& inst_a() { return a_; }
@@ -65,15 +77,29 @@ public:
   Lit diff_literal(rtlir::StateVarId sv, unsigned frame);
 
   // --- model inspection (valid after a SAT solve) ------------------------------
-  std::uint64_t model_value(const Bits& image) const;
+  // The default model source (the main solver in the single-solver setup).
+  void set_model_source(const sat::ModelSource* model) { model_ = model; }
+
+  std::uint64_t model_value(const sat::ModelSource& model, const Bits& image) const;
+  std::uint64_t model_value(const Bits& image) const {
+    assert(model_ != nullptr && "no model source installed (store-only miter?)");
+    return model_value(*model_, image);
+  }
   bool lit_in_model(Lit l) const;
-  // True iff the two instances disagree on sv at `frame` in the current model
-  // and the variable is not exempted by the model's victim range.
-  bool differs_in_model(rtlir::StateVarId sv, unsigned frame);
+  // True iff the two instances disagree on sv at `frame` in the given model
+  // and the variable is not exempted by the model's victim range. The images
+  // must already be encoded (they are, once a diff_literal for (sv, frame)
+  // exists) — the ModelSource overload is how the scheduler inspects worker
+  // models without re-encoding.
+  bool differs_in_model(const sat::ModelSource& model, rtlir::StateVarId sv, unsigned frame);
+  bool differs_in_model(rtlir::StateVarId sv, unsigned frame) {
+    assert(model_ != nullptr && "no model source installed (store-only miter?)");
+    return differs_in_model(*model_, sv, frame);
+  }
 
 private:
-  sat::Solver& solver_;
   CnfBuilder cnf_;
+  const sat::ModelSource* model_ = nullptr;
   const rtlir::StateVarTable& svt_;
   MiterOptions options_;
   UnrolledInstance a_;

@@ -2,8 +2,8 @@
 
 namespace upec::ipc {
 
-encode::Lit Engine::violation_any(encode::CnfBuilder& cnf,
-                                  const std::vector<encode::Lit>& disjuncts) {
+encode::Lit make_violation_any(encode::CnfBuilder& cnf,
+                               const std::vector<encode::Lit>& disjuncts) {
   const encode::Lit act = cnf.fresh();
   std::vector<encode::Lit> clause;
   clause.reserve(disjuncts.size() + 1);
@@ -11,6 +11,11 @@ encode::Lit Engine::violation_any(encode::CnfBuilder& cnf,
   for (encode::Lit d : disjuncts) clause.push_back(d);
   cnf.add_clause(clause);
   return act;
+}
+
+encode::Lit Engine::violation_any(encode::CnfBuilder& cnf,
+                                  const std::vector<encode::Lit>& disjuncts) {
+  return make_violation_any(cnf, disjuncts);
 }
 
 CheckResult Engine::check(const BoundedProperty& property) {

@@ -27,12 +27,16 @@ struct CheckResult {
   std::uint64_t propagations = 0;
 };
 
+// Creates an activation literal `act` with clause act -> OR(disjuncts):
+// assuming `act` forces at least one disjunct, i.e. one property violation.
+encode::Lit make_violation_any(encode::CnfBuilder& cnf,
+                               const std::vector<encode::Lit>& disjuncts);
+
 class Engine {
 public:
   explicit Engine(sat::Solver& solver) : solver_(solver) {}
 
-  // Creates an activation literal `act` with clause act -> OR(disjuncts):
-  // assuming `act` forces at least one disjunct, i.e. one property violation.
+  // See make_violation_any (kept as a member for call-site convenience).
   encode::Lit violation_any(encode::CnfBuilder& cnf, const std::vector<encode::Lit>& disjuncts);
 
   CheckResult check(const BoundedProperty& property);

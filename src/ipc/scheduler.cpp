@@ -1,0 +1,125 @@
+#include "ipc/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+
+namespace upec::ipc {
+
+CheckScheduler::CheckScheduler(sat::CnfStore& store, unsigned threads,
+                               std::uint64_t conflict_budget)
+    : store_(store), pool_(threads == 0 ? 1 : threads) {
+  const unsigned n = threads == 0 ? 1 : threads;
+  backends_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    backends_.push_back(std::make_unique<sat::InprocBackend>(conflict_budget));
+  }
+}
+
+std::vector<sat::SolverStats> CheckScheduler::worker_stats() const {
+  std::vector<sat::SolverStats> out;
+  out.reserve(backends_.size());
+  for (const auto& b : backends_) out.push_back(b->stats());
+  return out;
+}
+
+SweepResult CheckScheduler::sweep(encode::Miter& miter,
+                                  const std::vector<encode::Lit>& assumptions,
+                                  const std::vector<rtlir::StateVarId>& candidates,
+                                  unsigned frame) {
+  SweepResult result;
+  const auto t0 = std::chrono::steady_clock::now();
+  const unsigned W = workers();
+  std::vector<sat::SolverStats> before;
+  before.reserve(W);
+  for (const auto& b : backends_) before.push_back(b->stats());
+
+  // Round-robin partition: chunk w owns every W-th candidate. Candidates
+  // arrive in ascending StateVarId order (StateSet::to_vector), so chunks
+  // stay balanced as S shrinks across iterations.
+  std::vector<std::vector<rtlir::StateVarId>> remaining(W);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    remaining[i % W].push_back(candidates[i]);
+  }
+  std::vector<char> active(W, 0);
+  for (unsigned w = 0; w < W; ++w) active[w] = remaining[w].empty() ? 0 : 1;
+
+  bool unknown = false;
+  auto any_active = [&] {
+    return std::any_of(active.begin(), active.end(), [](char a) { return a != 0; });
+  };
+
+  while (!unknown && any_active()) {
+    ++result.rounds;
+    // Single-threaded encoding window: per-chunk activation literals for the
+    // disjunction of the chunk's still-unresolved diff literals.
+    std::vector<encode::Lit> act(W, encode::Lit::undef());
+    for (unsigned w = 0; w < W; ++w) {
+      if (!active[w]) continue;
+      std::vector<encode::Lit> diffs;
+      diffs.reserve(remaining[w].size());
+      for (rtlir::StateVarId sv : remaining[w]) diffs.push_back(miter.diff_literal(sv, frame));
+      act[w] = make_violation_any(miter.cnf(), diffs);
+    }
+    const sat::CnfSnapshot snap = store_.snapshot();
+
+    // Fan out: worker w hydrates to the snapshot and solves its chunk.
+    std::vector<sat::SolveStatus> status(W, sat::SolveStatus::Unsat);
+    std::vector<std::function<void()>> tasks;
+    for (unsigned w = 0; w < W; ++w) {
+      if (!active[w]) continue;
+      ++result.solve_calls;
+      tasks.push_back([this, w, &snap, &assumptions, &act, &status] {
+        backends_[w]->sync(snap);
+        std::vector<encode::Lit> as = assumptions;
+        as.push_back(act[w]);
+        status[w] = backends_[w]->solve(as);
+      });
+    }
+    pool_.run_all(std::move(tasks));
+
+    // Deterministic merge, ascending worker index, after the barrier.
+    for (unsigned w = 0; w < W; ++w) {
+      if (!active[w]) continue;
+      if (status[w] == sat::SolveStatus::Unknown) {
+        unknown = true;
+        continue;
+      }
+      if (status[w] == sat::SolveStatus::Unsat) {
+        active[w] = 0;  // every variable left in this chunk is proven unable to differ
+        continue;
+      }
+      std::vector<rtlir::StateVarId> newly;
+      for (rtlir::StateVarId sv : remaining[w]) {
+        if (miter.differs_in_model(*backends_[w], sv, frame)) newly.push_back(sv);
+      }
+      if (newly.empty()) {
+        // Defensive: a satisfiable chunk whose model shows no difference means
+        // the diff literals and the model disagree; treat as unknown.
+        unknown = true;
+        active[w] = 0;
+        continue;
+      }
+      result.differing.insert(result.differing.end(), newly.begin(), newly.end());
+      std::erase_if(remaining[w], [&](rtlir::StateVarId sv) {
+        return std::find(newly.begin(), newly.end(), sv) != newly.end();
+      });
+      if (remaining[w].empty()) active[w] = 0;
+    }
+  }
+
+  std::sort(result.differing.begin(), result.differing.end());
+  for (unsigned w = 0; w < W; ++w) {
+    const sat::SolverStats delta = backends_[w]->stats() - before[w];
+    result.conflicts += delta.conflicts;
+    result.decisions += delta.decisions;
+    result.propagations += delta.propagations;
+  }
+  result.status = unknown ? CheckStatus::Unknown
+                  : result.differing.empty() ? CheckStatus::Holds
+                                             : CheckStatus::Violated;
+  result.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+} // namespace upec::ipc

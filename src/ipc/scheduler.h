@@ -1,0 +1,73 @@
+// CheckScheduler: fans the independent SAT queries of the Alg. 1 / Alg. 2
+// loops across a pool of worker solvers.
+//
+// One UPEC iteration asks, for every state variable sv still in S: "can sv
+// differ at the target frame, given the equivalence assumptions?". These
+// queries share the entire transition-relation CNF and differ only in their
+// assumption sets, so the scheduler keeps W worker solvers hydrated from the
+// shared CnfStore and partitions the candidate variables round-robin into W
+// chunks, one per worker. Each worker then runs the same counterexample-
+// saturation loop the single-solver path runs — solve the disjunction of its
+// chunk's diff literals, harvest every differing variable from the model,
+// shrink, repeat until UNSAT — entirely on its own solver, keeping learned
+// clauses across rounds and iterations.
+//
+// Determinism: the set a chunk reports is {sv in chunk : diff(sv) satisfiable},
+// which is a purely semantic property — independent of which models the
+// worker's CDCL search happens to find, of thread scheduling, and of the
+// number of workers. The merged, sorted union is therefore bit-identical to
+// the single-solver saturation result for any thread count.
+//
+// Concurrency protocol: the encoder (diff/activation literals) runs only on
+// the calling thread between batches; workers only read the store (hydration)
+// and their own solver. Worker models and statistics are read back on the
+// calling thread strictly after the batch barrier.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "encode/miter.h"
+#include "ipc/engine.h"
+#include "sat/backend.h"
+#include "util/thread_pool.h"
+
+namespace upec::ipc {
+
+struct SweepResult {
+  // Violated iff at least one candidate can differ; Unknown if any worker
+  // exhausted its budget (the differing list is then a lower bound).
+  CheckStatus status = CheckStatus::Holds;
+  std::vector<rtlir::StateVarId> differing;  // sorted ascending
+  double seconds = 0.0;                      // wall clock for the whole sweep
+  std::uint64_t conflicts = 0;               // summed over workers
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::size_t solve_calls = 0;
+  unsigned rounds = 0;
+};
+
+class CheckScheduler {
+public:
+  // `threads` worker solvers, each with the given per-solve conflict budget.
+  CheckScheduler(sat::CnfStore& store, unsigned threads, std::uint64_t conflict_budget = 0);
+
+  unsigned workers() const { return static_cast<unsigned>(backends_.size()); }
+
+  // Finds every candidate whose diff literal at `frame` is satisfiable under
+  // `assumptions`. Encodes missing diff/activation literals through
+  // `miter.cnf()` on the calling thread.
+  SweepResult sweep(encode::Miter& miter, const std::vector<encode::Lit>& assumptions,
+                    const std::vector<rtlir::StateVarId>& candidates, unsigned frame);
+
+  // Cumulative per-worker statistics (for report breakdowns).
+  std::vector<sat::SolverStats> worker_stats() const;
+
+private:
+  sat::CnfStore& store_;
+  util::ThreadPool pool_;
+  std::vector<std::unique_ptr<sat::SolverBackend>> backends_;
+};
+
+} // namespace upec::ipc

@@ -1,0 +1,67 @@
+// SolverBackend: a solving endpoint behind the shared clause database.
+//
+// A backend receives the formula exclusively through CnfSnapshot syncs and
+// answers assumption-based queries; it never sees the encode layer. This is
+// the seam that lets the check scheduler treat its workers uniformly today
+// (in-process CDCL solvers hydrated from the store) and lets future PRs plug
+// in external or portfolio solvers (e.g. a DIMACS-pipe backend over the
+// snapshot export in sat/dimacs.h) without touching the verification loops.
+#pragma once
+
+#include <cstdint>
+
+#include "sat/snapshot.h"
+#include "sat/solver.h"
+
+namespace upec::sat {
+
+enum class SolveStatus : std::uint8_t { Sat, Unsat, Unknown };
+
+class SolverBackend : public ModelSource {
+public:
+  // Brings the backend's clause database up to `snap`. Snapshots must come
+  // from one store and be passed in non-decreasing order.
+  virtual void sync(const CnfSnapshot& snap) = 0;
+
+  // Solves under assumptions against the last synced snapshot. Unknown means
+  // a resource budget was exhausted.
+  virtual SolveStatus solve(const std::vector<Lit>& assumptions) = 0;
+
+  virtual const SolverStats& stats() const = 0;
+};
+
+// In-process backend: owns a from-scratch CDCL solver kept in sync with the
+// store via a replay cursor. Clauses and the solver's learned-clause database
+// persist across solve calls, so a worker that is always handed the same
+// slice of the problem benefits from incremental solving exactly like the
+// single-solver setup did.
+class InprocBackend final : public SolverBackend {
+public:
+  explicit InprocBackend(std::uint64_t conflict_budget = 0) {
+    solver_.set_conflict_budget(conflict_budget);
+  }
+
+  void sync(const CnfSnapshot& snap) override { ok_ = snap.load_into(solver_, cursor_) && ok_; }
+
+  SolveStatus solve(const std::vector<Lit>& assumptions) override {
+    if (!ok_) return SolveStatus::Unsat;
+    try {
+      return solver_.solve(assumptions) ? SolveStatus::Sat : SolveStatus::Unsat;
+    } catch (const SolverInterrupted&) {
+      return SolveStatus::Unknown;
+    }
+  }
+
+  bool model_value(Lit l) const override { return solver_.model_value(l); }
+  const SolverStats& stats() const override { return solver_.stats(); }
+
+  Solver& solver() { return solver_; }
+  const Solver& solver() const { return solver_; }
+
+private:
+  Solver solver_;
+  CnfSnapshot::Cursor cursor_;
+  bool ok_ = true;
+};
+
+} // namespace upec::sat

@@ -1,0 +1,79 @@
+// Abstract emission and inspection interfaces that decouple the encode layer
+// from any concrete solver.
+//
+//  * ClauseSink — where Tseitin encoders emit variables and clauses. Both the
+//    live CDCL Solver and the recording CnfStore implement it, so the same
+//    encoding pass can drive a single incremental solver, a shared clause
+//    database for a pool of worker solvers, or both at once (TeeSink).
+//
+//  * ModelSource — where model values are read back after a satisfiable
+//    solve. Abstracting this lets the miter's counterexample inspection run
+//    against any worker solver's model, not just the one the CNF was first
+//    encoded into.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace upec::sat {
+
+class ClauseSink {
+public:
+  virtual ~ClauseSink() = default;
+
+  virtual Var new_var() = 0;
+  // Returns false if the formula became trivially UNSAT (sinks that only
+  // record always return true).
+  virtual bool add_clause(const std::vector<Lit>& lits) = 0;
+  virtual int num_vars() const = 0;
+
+  bool add_clause(Lit a) { return add_clause(std::vector<Lit>{a}); }
+  bool add_clause(Lit a, Lit b) { return add_clause(std::vector<Lit>{a, b}); }
+  bool add_clause(Lit a, Lit b, Lit c) { return add_clause(std::vector<Lit>{a, b, c}); }
+};
+
+class ModelSource {
+public:
+  virtual ~ModelSource() = default;
+  // Value of a literal in the most recent satisfying assignment.
+  virtual bool model_value(Lit l) const = 0;
+};
+
+// Fans every emission out to two sinks. The UPEC context tees the encode
+// layer into its main solver (always current, models readable immediately)
+// and the shared CnfStore (worker solvers hydrate from it on demand). Both
+// sinks must allocate identical variable numbering, which holds whenever they
+// start empty and receive every emission through the tee.
+class TeeSink final : public ClauseSink {
+public:
+  TeeSink(ClauseSink& primary, ClauseSink& secondary)
+      : primary_(primary), secondary_(secondary) {
+    assert(primary_.num_vars() == secondary_.num_vars());
+  }
+
+  Var new_var() override {
+    const Var v = primary_.new_var();
+    const Var w = secondary_.new_var();
+    assert(v == w);
+    (void)w;
+    return v;
+  }
+
+  bool add_clause(const std::vector<Lit>& lits) override {
+    const bool ok = primary_.add_clause(lits);
+    secondary_.add_clause(lits);
+    return ok;
+  }
+
+  using ClauseSink::add_clause;
+
+  int num_vars() const override { return primary_.num_vars(); }
+
+private:
+  ClauseSink& primary_;
+  ClauseSink& secondary_;
+};
+
+} // namespace upec::sat

@@ -27,6 +27,17 @@ void write_dimacs(std::ostream& os, const Solver& solver, const std::vector<Lit>
   for (Lit a : assumptions) os << as_dimacs(a) << " 0\n";
 }
 
+void write_dimacs(std::ostream& os, const CnfSnapshot& snapshot,
+                  const std::vector<Lit>& assumptions) {
+  os << "p cnf " << snapshot.num_vars() << ' ' << snapshot.num_clauses() + assumptions.size()
+     << '\n';
+  snapshot.for_each_clause([&](const std::vector<Lit>& clause) {
+    for (Lit l : clause) os << as_dimacs(l) << ' ';
+    os << "0\n";
+  });
+  for (Lit a : assumptions) os << as_dimacs(a) << " 0\n";
+}
+
 bool read_dimacs(std::istream& is, Solver& solver) {
   // Lit packs a variable as 2*v+sign into int32_t, so the largest safe
   // zero-based variable index is (INT32_MAX - 1) / 2.

@@ -7,6 +7,7 @@
 #include <istream>
 #include <ostream>
 
+#include "sat/snapshot.h"
 #include "sat/solver.h"
 
 namespace upec::sat {
@@ -15,6 +16,13 @@ namespace upec::sat {
 // `assumptions` are appended as unit clauses (freezing one property check
 // into a standalone instance).
 void write_dimacs(std::ostream& os, const Solver& solver,
+                  const std::vector<Lit>& assumptions = {});
+
+// Same, from an immutable CnfSnapshot — the export path for encodings that
+// were emitted into a CnfStore (e.g. a full miter), enabling cross-checks of
+// individual property queries against external SAT solvers without ever
+// constructing an in-process solver.
+void write_dimacs(std::ostream& os, const CnfSnapshot& snapshot,
                   const std::vector<Lit>& assumptions = {});
 
 // Reads a DIMACS CNF instance into `solver`, creating the variables the

@@ -1,0 +1,83 @@
+#include "sat/snapshot.h"
+
+#include <cassert>
+
+namespace upec::sat {
+
+Var CnfStore::new_var() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_vars_++;
+}
+
+bool CnfStore::add_clause(const std::vector<Lit>& lits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ClauseRange range;
+  range.offset = arena_.size();
+  range.size = static_cast<std::uint32_t>(lits.size());
+  arena_.insert(arena_.end(), lits.begin(), lits.end());
+  clauses_.push_back(range);
+  return true;
+}
+
+int CnfStore::num_vars() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_vars_;
+}
+
+std::size_t CnfStore::num_clauses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clauses_.size();
+}
+
+CnfSnapshot CnfStore::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CnfSnapshot(this, num_vars_, clauses_.size());
+}
+
+void CnfSnapshot::for_each_clause(
+    const std::function<void(const std::vector<Lit>&)>& fn) const {
+  if (store_ == nullptr) return;
+  std::vector<Lit> clause;
+  std::lock_guard<std::mutex> lock(store_->mu_);
+  for (std::size_t i = 0; i < num_clauses_; ++i) {
+    const CnfStore::ClauseRange& range = store_->clauses_[i];
+    clause.assign(store_->arena_.begin() + range.offset,
+                  store_->arena_.begin() + range.offset + range.size);
+    fn(clause);
+  }
+}
+
+bool CnfSnapshot::load_into(ClauseSink& sink, Cursor& cursor) const {
+  if (store_ == nullptr) return true;
+  assert(cursor.vars <= num_vars_ && cursor.clauses <= num_clauses_);
+  for (; cursor.vars < num_vars_; ++cursor.vars) sink.new_var();
+
+  // Copy the delta out under the lock, then feed the sink outside it: the
+  // sink side (watch-list setup, unit propagation) dominates replay cost, and
+  // keeping it unlocked lets several workers hydrate concurrently.
+  std::vector<Lit> arena_delta;
+  std::vector<CnfStore::ClauseRange> clause_delta;
+  {
+    std::lock_guard<std::mutex> lock(store_->mu_);
+    clause_delta.assign(store_->clauses_.begin() + cursor.clauses,
+                        store_->clauses_.begin() + num_clauses_);
+    if (!clause_delta.empty()) {
+      const std::size_t begin = clause_delta.front().offset;
+      const std::size_t end = clause_delta.back().offset + clause_delta.back().size;
+      arena_delta.assign(store_->arena_.begin() + begin, store_->arena_.begin() + end);
+      for (CnfStore::ClauseRange& r : clause_delta) r.offset -= begin;
+    }
+  }
+
+  bool ok = true;
+  std::vector<Lit> clause;
+  for (const CnfStore::ClauseRange& range : clause_delta) {
+    clause.assign(arena_delta.begin() + range.offset,
+                  arena_delta.begin() + range.offset + range.size);
+    ok = sink.add_clause(clause) && ok;
+  }
+  cursor.clauses = num_clauses_;
+  return ok;
+}
+
+} // namespace upec::sat

@@ -18,6 +18,7 @@
 #include <limits>
 #include <vector>
 
+#include "sat/clause_sink.h"
 #include "sat/types.h"
 
 namespace upec::sat {
@@ -32,19 +33,41 @@ struct SolverStats {
   std::uint64_t solve_calls = 0;
 };
 
-class Solver {
+inline SolverStats& operator+=(SolverStats& a, const SolverStats& b) {
+  a.decisions += b.decisions;
+  a.propagations += b.propagations;
+  a.conflicts += b.conflicts;
+  a.restarts += b.restarts;
+  a.learned_clauses += b.learned_clauses;
+  a.deleted_clauses += b.deleted_clauses;
+  a.solve_calls += b.solve_calls;
+  return a;
+}
+
+// Delta between two cumulative snapshots (after - before), for per-check and
+// per-worker accounting.
+inline SolverStats operator-(SolverStats a, const SolverStats& b) {
+  a.decisions -= b.decisions;
+  a.propagations -= b.propagations;
+  a.conflicts -= b.conflicts;
+  a.restarts -= b.restarts;
+  a.learned_clauses -= b.learned_clauses;
+  a.deleted_clauses -= b.deleted_clauses;
+  a.solve_calls -= b.solve_calls;
+  return a;
+}
+
+class Solver final : public ClauseSink, public ModelSource {
 public:
   Solver();
 
-  // --- Problem construction -------------------------------------------------
-  Var new_var();
-  int num_vars() const { return static_cast<int>(assigns_.size()); }
+  // --- Problem construction (ClauseSink) -------------------------------------
+  Var new_var() override;
+  int num_vars() const override { return static_cast<int>(assigns_.size()); }
 
   // Adds a clause; returns false if the formula became trivially UNSAT.
-  bool add_clause(const std::vector<Lit>& lits);
-  bool add_clause(Lit a) { return add_clause(std::vector<Lit>{a}); }
-  bool add_clause(Lit a, Lit b) { return add_clause(std::vector<Lit>{a, b}); }
-  bool add_clause(Lit a, Lit b, Lit c) { return add_clause(std::vector<Lit>{a, b, c}); }
+  bool add_clause(const std::vector<Lit>& lits) override;
+  using ClauseSink::add_clause;
 
   // --- Solving ---------------------------------------------------------------
   // Solve under the given assumptions. Clauses persist across calls.
@@ -56,7 +79,7 @@ public:
     const auto i = static_cast<std::size_t>(v);
     return i < model_.size() && model_[i] == LBool::True;
   }
-  bool model_value(Lit l) const { return model_value(l.var()) != l.sign(); }
+  bool model_value(Lit l) const override { return model_value(l.var()) != l.sign(); }
 
   // After solve() returned false: subset of the assumptions responsible for
   // the UNSAT answer (the "final conflict"), usable as a crude core.

@@ -1,8 +1,7 @@
 #include "upec/alg1.h"
 
-#include <algorithm>
-
 #include "upec/engine.h"
+#include "upec/sweep.h"
 
 namespace upec {
 
@@ -15,6 +14,15 @@ const char* verdict_name(Verdict v) {
   return "?";
 }
 
+void collect_solver_usage(const UpecContext& ctx, SolverUsage& usage) {
+  usage.total = ctx.solver.stats();
+  usage.per_worker.clear();
+  if (ctx.scheduler) {
+    usage.per_worker = ctx.scheduler->worker_stats();
+    for (const sat::SolverStats& w : usage.per_worker) usage.total += w;
+  }
+}
+
 Alg1Result run_alg1(UpecContext& ctx, const Alg1Options& options) {
   Alg1Result result;
   StateSet S = options.initial_s ? *options.initial_s : s_not_victim(ctx.svt);
@@ -25,97 +33,60 @@ Alg1Result run_alg1(UpecContext& ctx, const Alg1Options& options) {
     log.s_size = S.size();
 
     // UPEC-SSC(S): assume equivalence of S at t (+ macros), prove equivalence
-    // of S at t+1 — i.e. search for a member of S that can differ at t+1.
-    ipc::BoundedProperty prop;
-    prop.name = "UPEC-SSC";
-    prop.window = 1;
-    prop.assumptions = ctx.macros.assumptions(1);
-    const std::vector<rtlir::StateVarId> members = S.to_vector();
-    for (rtlir::StateVarId sv : members) {
-      prop.assumptions.push_back(ctx.miter.eq_assumption(sv));
+    // of S at t+1 — i.e. search for members of S that can differ at t+1. The
+    // sweep saturates the counterexample: one outer iteration corresponds to
+    // one propagation step of the victim's influence frontier (the
+    // granularity the paper's iteration counts describe), independent of how
+    // many solver models realize it and of the thread count.
+    std::vector<encode::Lit> assumptions = ctx.macros.assumptions(1);
+    for (rtlir::StateVarId sv : S.to_vector()) {
+      assumptions.push_back(ctx.miter.eq_assumption(sv));
     }
+    SweepOutcome out = sweep_frame(ctx, "UPEC-SSC", assumptions, S, 1, options.saturate_cex);
 
-    // Counterexample saturation: keep re-solving at this propagation depth
-    // until no member of S can newly differ, accumulating the union. One
-    // outer iteration therefore corresponds to one propagation step of the
-    // victim's influence frontier (the granularity the paper's iteration
-    // counts describe), independent of how many scenarios realize it.
-    std::vector<rtlir::StateVarId> remaining = members;
-    std::vector<rtlir::StateVarId> s_cex;
-    std::vector<rtlir::StateVarId> pers_hits;
-    bool unknown = false;
-    bool inconsistent_model = false;
-    while (options.saturate_cex || s_cex.empty()) {
-      std::vector<encode::Lit> diffs;
-      diffs.reserve(remaining.size());
-      for (rtlir::StateVarId sv : remaining) diffs.push_back(ctx.miter.diff_literal(sv, 1));
-      prop.violation = ctx.engine.violation_any(ctx.miter.cnf(), diffs);
+    log.seconds = out.seconds;
+    log.conflicts = out.conflicts;
+    log.status = out.status;
+    log.cex_size = out.s_cex.size();
+    log.pers_hits = out.pers_hits.size();
+    log.removed = out.s_cex;
+    result.total_seconds += out.seconds;
 
-      const ipc::CheckResult check = ctx.engine.check(prop);
-      log.seconds += check.seconds;
-      log.conflicts += check.conflicts;
-      log.status = check.status;
-      result.total_seconds += check.seconds;
-
-      if (check.status == ipc::CheckStatus::Unknown) {
-        unknown = true;
-        break;
+    if (!out.pers_hits.empty()) {
+      // Victim data reaches persistent, attacker-accessible state.
+      if (options.extract_waveform) {
+        result.waveform = extract_pers_waveform(ctx, "UPEC-SSC", assumptions, out, 1, log,
+                                                result.total_seconds);
       }
-      if (check.status == ipc::CheckStatus::Holds) break;
-
-      std::vector<rtlir::StateVarId> newly;
-      for (rtlir::StateVarId sv : remaining) {
-        if (ctx.miter.differs_in_model(sv, 1)) {
-          newly.push_back(sv);
-          if (ctx.in_s_pers(sv)) pers_hits.push_back(sv);
-        }
-      }
-      if (newly.empty()) {
-        // Defensive: a violation with no extractable difference would mean
-        // the diff literals and the model disagree; stop rather than loop.
-        inconsistent_model = true;
-        break;
-      }
-      s_cex.insert(s_cex.end(), newly.begin(), newly.end());
-      if (!pers_hits.empty()) {
-        // Victim data reaches persistent, attacker-accessible state.
-        if (options.extract_waveform) {
-          result.waveform = ipc::extract_waveform(ctx.miter, 1, ctx.waveform_probes(), s_cex);
-        }
-        log.cex_size = s_cex.size();
-        log.pers_hits = pers_hits.size();
-        log.removed = s_cex;
-        result.iterations.push_back(std::move(log));
-        result.verdict = Verdict::Vulnerable;
-        result.persistent_hits = std::move(pers_hits);
-        result.full_cex = std::move(s_cex);
-        result.final_s = std::move(S);
-        return result;
-      }
-      std::erase_if(remaining, [&](rtlir::StateVarId sv) {
-        return std::find(newly.begin(), newly.end(), sv) != newly.end();
-      });
-    }
-
-    log.cex_size = s_cex.size();
-    log.removed = s_cex;
-    result.iterations.push_back(std::move(log));
-
-    if (unknown || inconsistent_model) {
-      result.verdict = Verdict::Unknown;
+      result.iterations.push_back(std::move(log));
+      result.verdict = Verdict::Vulnerable;
+      result.persistent_hits = std::move(out.pers_hits);
+      result.full_cex = std::move(out.s_cex);
+      result.final_s = std::move(S);
+      collect_solver_usage(ctx, result.stats);
       return result;
     }
-    if (s_cex.empty()) {
+
+    result.iterations.push_back(std::move(log));
+
+    if (out.status == ipc::CheckStatus::Unknown) {
+      result.verdict = Verdict::Unknown;
+      collect_solver_usage(ctx, result.stats);
+      return result;
+    }
+    if (out.s_cex.empty()) {
       // S_cex = ∅: the property is inductive for this S; with the trivial
       // base case (no influence before the victim's first access) this gives
       // the unbounded secure verdict.
       result.verdict = Verdict::Secure;
       result.final_s = std::move(S);
+      collect_solver_usage(ctx, result.stats);
       return result;
     }
-    S.remove_all(s_cex);
+    S.remove_all(out.s_cex);
   }
   result.verdict = Verdict::Unknown;
+  collect_solver_usage(ctx, result.stats);
   return result;
 }
 

@@ -37,16 +37,27 @@ struct IterationLog {
   std::vector<rtlir::StateVarId> removed;
 };
 
+// Cumulative solver statistics behind a verification run: the context's main
+// solver plus, under threads > 1, every scheduler worker. Reports aggregate
+// `total` and can break down `per_worker`.
+struct SolverUsage {
+  sat::SolverStats total;
+  std::vector<sat::SolverStats> per_worker;  // empty when no scheduler ran
+};
+
 struct Alg1Result {
   Verdict verdict = Verdict::Unknown;
   std::vector<IterationLog> iterations;
   // Vulnerable: the persistent state variables the victim can influence.
+  // Complete and sorted: every member of the final S whose difference is
+  // realizable, independent of solver model order or thread count.
   std::vector<rtlir::StateVarId> persistent_hits;
   std::vector<rtlir::StateVarId> full_cex;
   std::optional<ipc::Waveform> waveform;
   // Secure: the final inductive set (S_pers ⊆ S ⊆ S_¬victim).
   StateSet final_s;
   double total_seconds = 0.0;
+  SolverUsage stats;
 };
 
 struct Alg1Options {

@@ -1,8 +1,7 @@
 #include "upec/alg2.h"
 
-#include <algorithm>
-
 #include "upec/engine.h"
+#include "upec/sweep.h"
 
 namespace upec {
 
@@ -24,117 +23,84 @@ Alg2Result run_alg2(UpecContext& ctx, const Alg2Options& options) {
     step.iteration.s_size = S[k].size();
     if (options.extract_waveform) ctx.touch_probes(k);
 
-    ipc::BoundedProperty prop;
-    prop.name = "UPEC-SSC-unrolled";
-    prop.window = k;
-    prop.assumptions = ctx.macros.assumptions(k);
-    for (rtlir::StateVarId sv : s0_members) {
-      prop.assumptions.push_back(ctx.miter.eq_assumption(sv));
-    }
     // Violations are only possible at the newest frame: frames 1..k-1 were
     // proven with identical assumptions in previous iterations. As in Alg. 1,
-    // counterexamples are saturated: one step accumulates every member of
-    // S[k] that can differ at frame k.
-    const std::vector<rtlir::StateVarId> members = S[k].to_vector();
-    std::vector<rtlir::StateVarId> remaining = members;
-    std::vector<rtlir::StateVarId> s_cex;
-    std::vector<rtlir::StateVarId> pers_hits;
-    ipc::CheckStatus last_status = ipc::CheckStatus::Unknown;
-    bool inconsistent_model = false;
-    for (;;) {
-      std::vector<encode::Lit> diffs;
-      diffs.reserve(remaining.size());
-      for (rtlir::StateVarId sv : remaining) diffs.push_back(ctx.miter.diff_literal(sv, k));
-      prop.violation = ctx.engine.violation_any(ctx.miter.cnf(), diffs);
-
-      const ipc::CheckResult check = ctx.engine.check(prop);
-      step.iteration.seconds += check.seconds;
-      step.iteration.conflicts += check.conflicts;
-      step.iteration.status = last_status = check.status;
-      result.total_seconds += check.seconds;
-      if (check.status != ipc::CheckStatus::Violated) break;
-
-      std::vector<rtlir::StateVarId> newly;
-      for (rtlir::StateVarId sv : remaining) {
-        if (ctx.miter.differs_in_model(sv, k)) {
-          newly.push_back(sv);
-          if (ctx.in_s_pers(sv)) pers_hits.push_back(sv);
-        }
-      }
-      if (newly.empty()) {
-        inconsistent_model = true;
-        break;
-      }
-      s_cex.insert(s_cex.end(), newly.begin(), newly.end());
-      if (!pers_hits.empty()) break;
-      std::erase_if(remaining, [&](rtlir::StateVarId sv) {
-        return std::find(newly.begin(), newly.end(), sv) != newly.end();
-      });
-      if (!options.saturate_cex) break;
+    // the sweep saturates the counterexample at frame k.
+    std::vector<encode::Lit> assumptions = ctx.macros.assumptions(k);
+    for (rtlir::StateVarId sv : s0_members) {
+      assumptions.push_back(ctx.miter.eq_assumption(sv));
     }
-    step.iteration.cex_size = s_cex.size();
-    step.iteration.pers_hits = pers_hits.size();
-    step.iteration.removed = s_cex;
+    SweepOutcome out =
+        sweep_frame(ctx, "UPEC-SSC-unrolled", assumptions, S[k], k, options.saturate_cex);
 
-    if (!pers_hits.empty()) {
+    step.iteration.seconds = out.seconds;
+    step.iteration.conflicts = out.conflicts;
+    step.iteration.status = out.status;
+    step.iteration.cex_size = out.s_cex.size();
+    step.iteration.pers_hits = out.pers_hits.size();
+    step.iteration.removed = out.s_cex;
+    result.total_seconds += out.seconds;
+
+    if (!out.pers_hits.empty()) {
       if (options.extract_waveform) {
-        result.waveform = ipc::extract_waveform(ctx.miter, k, ctx.waveform_probes(), s_cex);
+        result.waveform = extract_pers_waveform(ctx, "UPEC-SSC-unrolled", assumptions, out, k,
+                                                step.iteration, result.total_seconds);
       }
       result.steps.push_back(std::move(step));
       result.verdict = Verdict::Vulnerable;
       result.final_k = k;
-      result.persistent_hits = std::move(pers_hits);
-      result.full_cex = std::move(s_cex);
+      result.persistent_hits = std::move(out.pers_hits);
+      result.full_cex = std::move(out.s_cex);
+      collect_solver_usage(ctx, result.stats);
       return result;
     }
-    if (last_status == ipc::CheckStatus::Unknown || inconsistent_model) {
-      result.steps.push_back(std::move(step));
+    result.steps.push_back(std::move(step));
+
+    if (out.status == ipc::CheckStatus::Unknown) {
       result.verdict = Verdict::Unknown;
       result.final_k = k;
+      collect_solver_usage(ctx, result.stats);
       return result;
     }
-    if (!s_cex.empty()) {
-      S[k].remove_all(s_cex);
-      result.steps.push_back(std::move(step));
+    if (!out.s_cex.empty()) {
+      S[k].remove_all(out.s_cex);
       continue;
     }
 
-    {
-      result.steps.push_back(std::move(step));
-      if (S[k] == S[k - 1]) {
-        // "hold": the victim's influence frontier stopped growing. Close with
-        // the inductive proof (Alg. 1 seeded with S[k]) to cover all future
-        // cycles k+n.
-        result.final_k = k;
-        if (options.run_closing_induction) {
-          Alg1Options ind;
-          ind.initial_s = S[k];
-          ind.extract_waveform = options.extract_waveform;
-          result.induction = run_alg1(ctx, ind);
-          result.verdict = result.induction->verdict;
-          if (result.induction->verdict == Verdict::Vulnerable) {
-            result.persistent_hits = result.induction->persistent_hits;
-            result.full_cex = result.induction->full_cex;
-            result.waveform = result.induction->waveform;
-          }
-        } else {
-          result.verdict = Verdict::Secure;
+    if (S[k] == S[k - 1]) {
+      // "hold": the victim's influence frontier stopped growing. Close with
+      // the inductive proof (Alg. 1 seeded with S[k]) to cover all future
+      // cycles k+n.
+      result.final_k = k;
+      if (options.run_closing_induction) {
+        Alg1Options ind;
+        ind.initial_s = S[k];
+        ind.extract_waveform = options.extract_waveform;
+        result.induction = run_alg1(ctx, ind);
+        result.verdict = result.induction->verdict;
+        if (result.induction->verdict == Verdict::Vulnerable) {
+          result.persistent_hits = result.induction->persistent_hits;
+          result.full_cex = result.induction->full_cex;
+          result.waveform = result.induction->waveform;
         }
-        return result;
+      } else {
+        result.verdict = Verdict::Secure;
       }
-      if (k + 1 > options.max_k) {
-        result.verdict = Verdict::Unknown;
-        result.final_k = k;
-        return result;
-      }
-      ++k;
-      S.push_back(S[k - 1]);
-      continue;
+      collect_solver_usage(ctx, result.stats);
+      return result;
     }
-
+    if (k + 1 > options.max_k) {
+      result.verdict = Verdict::Unknown;
+      result.final_k = k;
+      collect_solver_usage(ctx, result.stats);
+      return result;
+    }
+    ++k;
+    S.push_back(S[k - 1]);
   }
   result.verdict = Verdict::Unknown;
   result.final_k = k;
+  collect_solver_usage(ctx, result.stats);
   return result;
 }
 

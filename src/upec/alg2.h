@@ -33,6 +33,7 @@ struct Alg2Result {
   // When the unrolling converged ("hold"): the closing inductive proof.
   std::optional<Alg1Result> induction;
   double total_seconds = 0.0;
+  SolverUsage stats;
 };
 
 struct Alg2Options {

@@ -6,14 +6,20 @@ UpecContext::UpecContext(const soc::Soc& s, VerifyOptions opts)
     : soc(s),
       options(std::move(opts)),
       svt(*s.design),
+      store(),
       solver(),
-      miter(solver, *s.design, svt,
+      sink(solver, store),
+      miter(static_cast<sat::ClauseSink&>(sink), *s.design, svt,
             encode::MiterOptions{.per_instance = soc::Soc::is_cpu_interface,
                                  .shared_prefix = false}),
       macros(miter, s, options.macros),
       pers(svt, s),
       engine(solver),
+      scheduler(options.threads > 1 ? std::make_unique<ipc::CheckScheduler>(
+                                          store, options.threads, options.conflict_budget)
+                                    : nullptr),
       s_pers(StateSet::none(svt)) {
+  miter.set_model_source(&solver);
   miter.set_exempt(
       [this](encode::Miter& m, rtlir::StateVarId sv) { return macros.exempt_for(m, sv); });
   solver.set_conflict_budget(options.conflict_budget);

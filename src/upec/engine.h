@@ -8,6 +8,8 @@
 
 #include "encode/miter.h"
 #include "ipc/engine.h"
+#include "ipc/scheduler.h"
+#include "sat/snapshot.h"
 #include "soc/pulpissimo.h"
 #include "upec/alg1.h"
 #include "upec/alg2.h"
@@ -20,6 +22,12 @@ struct VerifyOptions {
   MacroConfig macros;
   // Abort a single check after this many conflicts (0 = no limit).
   std::uint64_t conflict_budget = 0;
+  // Worker solvers for the per-state-variable checks of Alg. 1 / Alg. 2.
+  // 1 (default) keeps everything on the single incremental main solver;
+  // N > 1 fans each iteration across N solvers hydrated from the shared
+  // clause store. Results are bit-identical for every value (see
+  // ipc/scheduler.h).
+  unsigned threads = 1;
   // Optional restriction of S_pers (e.g. "only the HWPE and public RAM" to
   // steer Alg. 1 toward a specific attack scenario in the case study).
   std::function<bool(rtlir::StateVarId)> s_pers_filter;
@@ -32,11 +40,22 @@ public:
   const soc::Soc& soc;
   VerifyOptions options;
   rtlir::StateVarTable svt;
-  sat::Solver solver;
+  // Shared clause database: everything the encode layer emits is recorded
+  // here (through `sink`) so scheduler workers — and DIMACS exports — can be
+  // hydrated from an immutable snapshot at any point. Deliberately recorded
+  // even at threads == 1: the store is the canonical formula record (a
+  // threads-conditional store would make snapshot exports silently empty on
+  // default runs), at the cost of one uncontended lock + clause copy per
+  // emission and a duplicate of the CNF in memory.
+  sat::CnfStore store;
+  sat::Solver solver; // main solver; always current via `sink`
+  sat::TeeSink sink;  // solver + store
   encode::Miter miter;
   SsMacros macros;
   PersistenceClassifier pers;
   ipc::Engine engine;
+  // Non-null iff options.threads > 1.
+  std::unique_ptr<ipc::CheckScheduler> scheduler;
   StateSet s_pers; // after filtering
 
   bool in_s_pers(rtlir::StateVarId sv) const { return s_pers.contains(sv); }

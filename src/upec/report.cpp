@@ -35,6 +35,22 @@ void render_hits(std::ostringstream& os, const UpecContext& ctx,
   }
 }
 
+// Aggregated solver statistics: the main solver plus every scheduler worker
+// (the single context solver alone under-counts as soon as threads > 1).
+void render_solver_usage(std::ostringstream& os, const SolverUsage& usage) {
+  const sat::SolverStats& t = usage.total;
+  os << "solver usage (main";
+  if (!usage.per_worker.empty()) os << " + " << usage.per_worker.size() << " workers";
+  os << "): " << t.solve_calls << " solves, " << t.conflicts << " conflicts, " << t.decisions
+     << " decisions, " << t.propagations << " propagations\n";
+  for (std::size_t w = 0; w < usage.per_worker.size(); ++w) {
+    const sat::SolverStats& s = usage.per_worker[w];
+    os << "  worker " << w << ": " << s.solve_calls << " solves, " << s.conflicts
+       << " conflicts, " << s.decisions << " decisions, " << s.propagations
+       << " propagations, " << s.learned_clauses << " learned\n";
+  }
+}
+
 } // namespace
 
 std::string iteration_table(const UpecContext& ctx, const Alg1Result& result) {
@@ -64,6 +80,7 @@ std::string render_report(const UpecContext& ctx, const Alg1Result& result) {
   os << iteration_table(ctx, result);
   os << "verdict: " << verdict_name(result.verdict) << "  (total " << std::fixed
      << std::setprecision(3) << result.total_seconds << " s)\n";
+  render_solver_usage(os, result.stats);
   if (result.verdict == Verdict::Vulnerable) {
     render_hits(os, ctx, result.persistent_hits, result.full_cex);
     if (result.waveform) {
@@ -83,6 +100,7 @@ std::string render_report(const UpecContext& ctx, const Alg2Result& result) {
   os << iteration_table(ctx, result);
   os << "verdict: " << verdict_name(result.verdict) << "  (total " << std::fixed
      << std::setprecision(3) << result.total_seconds << " s)\n";
+  render_solver_usage(os, result.stats);
   if (result.verdict == Verdict::Vulnerable) {
     render_hits(os, ctx, result.persistent_hits, result.full_cex);
     if (result.waveform) {

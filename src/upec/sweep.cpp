@@ -1,0 +1,126 @@
+#include "upec/sweep.h"
+
+#include <algorithm>
+
+#include "upec/alg1.h"
+#include "upec/engine.h"
+
+namespace upec {
+
+namespace {
+
+// The classic single-solver path: incremental counterexample saturation on
+// the context's main solver. Solve the disjunction of the remaining diff
+// literals, harvest every differing variable from the model, shrink, repeat
+// until UNSAT (or, with saturate == false, stop after the first model).
+//
+// CheckScheduler::sweep (ipc/scheduler.cpp) runs the same harvest/shrink
+// step per chunk; the two implementations stay separate because they differ
+// structurally (BoundedProperty on the context engine vs backend rounds with
+// a barrier), and their agreement is semantic — both converge on
+// {sv : diff(sv) satisfiable} — not textual. test_determinism pins it.
+SweepOutcome sweep_sequential(UpecContext& ctx, const std::string& property_name,
+                              const std::vector<encode::Lit>& assumptions,
+                              const std::vector<rtlir::StateVarId>& members, unsigned frame,
+                              bool saturate) {
+  SweepOutcome out;
+  std::vector<rtlir::StateVarId> remaining = members;
+
+  ipc::BoundedProperty prop;
+  prop.name = property_name;
+  prop.window = frame;
+  prop.assumptions = assumptions;
+
+  bool unknown = false;
+  bool inconsistent = false;
+  while (!remaining.empty()) {
+    std::vector<encode::Lit> diffs;
+    diffs.reserve(remaining.size());
+    for (rtlir::StateVarId sv : remaining) diffs.push_back(ctx.miter.diff_literal(sv, frame));
+    prop.violation = ctx.engine.violation_any(ctx.miter.cnf(), diffs);
+
+    const ipc::CheckResult check = ctx.engine.check(prop);
+    out.seconds += check.seconds;
+    out.conflicts += check.conflicts;
+    if (check.status == ipc::CheckStatus::Unknown) {
+      unknown = true;
+      break;
+    }
+    if (check.status == ipc::CheckStatus::Holds) break;
+
+    std::vector<rtlir::StateVarId> newly;
+    for (rtlir::StateVarId sv : remaining) {
+      if (ctx.miter.differs_in_model(sv, frame)) newly.push_back(sv);
+    }
+    if (newly.empty()) {
+      // A violation with no extractable difference would mean the diff
+      // literals and the model disagree; stop rather than loop.
+      inconsistent = true;
+      break;
+    }
+    out.s_cex.insert(out.s_cex.end(), newly.begin(), newly.end());
+    std::erase_if(remaining, [&](rtlir::StateVarId sv) {
+      return std::find(newly.begin(), newly.end(), sv) != newly.end();
+    });
+    if (!saturate) break;
+  }
+
+  std::sort(out.s_cex.begin(), out.s_cex.end());
+  out.status = (unknown || inconsistent)  ? ipc::CheckStatus::Unknown
+               : out.s_cex.empty()        ? ipc::CheckStatus::Holds
+                                          : ipc::CheckStatus::Violated;
+  return out;
+}
+
+} // namespace
+
+SweepOutcome sweep_frame(UpecContext& ctx, const std::string& property_name,
+                         const std::vector<encode::Lit>& assumptions, const StateSet& S,
+                         unsigned frame, bool saturate) {
+  const std::vector<rtlir::StateVarId> members = S.to_vector();
+  SweepOutcome out;
+  // The scheduler always saturates (only the complete frontier is a semantic,
+  // thread-count-independent set). The non-saturating ablation mode
+  // (saturate_cex = false) is inherently single-model, so it stays on the
+  // main solver regardless of the threads option — this keeps its results
+  // identical across thread counts too.
+  if (ctx.scheduler && saturate) {
+    const ipc::SweepResult r = ctx.scheduler->sweep(ctx.miter, assumptions, members, frame);
+    out.status = r.status;
+    out.s_cex = r.differing;
+    out.seconds = r.seconds;
+    out.conflicts = r.conflicts;
+  } else {
+    out = sweep_sequential(ctx, property_name, assumptions, members, frame, saturate);
+  }
+  out.pers_hits.clear();
+  for (rtlir::StateVarId sv : out.s_cex) {
+    if (ctx.in_s_pers(sv)) out.pers_hits.push_back(sv);
+  }
+  return out;
+}
+
+std::optional<ipc::Waveform> extract_pers_waveform(UpecContext& ctx,
+                                                   const std::string& property_name,
+                                                   const std::vector<encode::Lit>& assumptions,
+                                                   const SweepOutcome& out, unsigned frame,
+                                                   IterationLog& log, double& total_seconds) {
+  std::vector<encode::Lit> diffs;
+  diffs.reserve(out.pers_hits.size());
+  for (rtlir::StateVarId sv : out.pers_hits) diffs.push_back(ctx.miter.diff_literal(sv, frame));
+
+  ipc::BoundedProperty prop;
+  prop.name = property_name + "-cex";
+  prop.window = frame;
+  prop.assumptions = assumptions;
+  prop.violation = ctx.engine.violation_any(ctx.miter.cnf(), diffs);
+
+  const ipc::CheckResult check = ctx.engine.check(prop);
+  log.seconds += check.seconds;
+  log.conflicts += check.conflicts;
+  total_seconds += check.seconds;
+  if (check.status != ipc::CheckStatus::Violated) return std::nullopt;
+  return ipc::extract_waveform(ctx.miter, frame, ctx.waveform_probes(), out.s_cex);
+}
+
+} // namespace upec

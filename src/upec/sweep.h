@@ -1,0 +1,57 @@
+// One UPEC iteration's counterexample collection, mode-dispatched.
+//
+// Computes S_cex = { sv in S : diff(sv, frame) satisfiable under the given
+// assumptions } — the complete influence frontier of the victim at that
+// frame. With threads == 1 this runs the classic incremental saturation loop
+// on the context's main solver; with threads > 1 it fans the same computation
+// across the CheckScheduler's worker pool. Both paths return the same sorted
+// sets (the result is semantic, see ipc/scheduler.h), which is what makes
+// multi-threaded runs bit-identical to single-threaded ones.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ipc/cex.h"
+#include "ipc/engine.h"
+#include "upec/state_sets.h"
+
+namespace upec {
+
+class UpecContext;
+struct IterationLog;
+
+struct SweepOutcome {
+  // Violated iff s_cex is non-empty; Unknown on budget exhaustion or a
+  // model/diff-literal disagreement (s_cex is then a lower bound).
+  ipc::CheckStatus status = ipc::CheckStatus::Unknown;
+  std::vector<rtlir::StateVarId> s_cex;      // sorted ascending
+  std::vector<rtlir::StateVarId> pers_hits;  // sorted; s_cex ∩ S_pers
+  double seconds = 0.0;
+  std::uint64_t conflicts = 0;
+};
+
+SweepOutcome sweep_frame(UpecContext& ctx, const std::string& property_name,
+                         const std::vector<encode::Lit>& assumptions, const StateSet& S,
+                         unsigned frame, bool saturate);
+
+// Vulnerable-verdict epilogue: re-solves on the context's main solver with a
+// violation restricted to the persistent hits (each is individually
+// satisfiable, so the solve succeeds barring a budget interrupt) and extracts
+// the counterexample waveform from that model. Accounts the solve into `log`
+// and `total_seconds`.
+std::optional<ipc::Waveform> extract_pers_waveform(UpecContext& ctx,
+                                                   const std::string& property_name,
+                                                   const std::vector<encode::Lit>& assumptions,
+                                                   const SweepOutcome& out, unsigned frame,
+                                                   IterationLog& log, double& total_seconds);
+
+struct SolverUsage;
+
+// Fills `usage` with the context solver's statistics plus every scheduler
+// worker's (aggregate + per-worker breakdown).
+void collect_solver_usage(const UpecContext& ctx, SolverUsage& usage);
+
+} // namespace upec

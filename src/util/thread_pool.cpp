@@ -1,0 +1,80 @@
+#include "util/thread_pool.h"
+
+namespace upec::util {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    std::size_t index = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || next_ < tasks_.size(); });
+      if (stop_) return;
+      index = next_++;
+      task = std::move(tasks_[index]);
+    }
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error) errors_[index] = error;
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (workers_.empty()) {
+    // Degenerate pool: run the batch inline, same all-or-nothing semantics.
+    std::exception_ptr first;
+    for (auto& task : tasks) {
+      try {
+        task();
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_ = std::move(tasks);
+    errors_.assign(tasks_.size(), nullptr);
+    next_ = 0;
+    pending_ = tasks_.size();
+  }
+  work_cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  tasks_.clear();
+  next_ = 0;
+  for (const std::exception_ptr& e : errors_) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+} // namespace upec::util

@@ -3,6 +3,7 @@
 // arithmetic, and algebraic identities must hold as UNSAT queries (i.e. no
 // assignment can distinguish the two sides).
 #include <gtest/gtest.h>
+#include "sat/solver.h"
 
 #include "encode/cnf.h"
 #include "util/rng.h"

@@ -1,0 +1,173 @@
+// encode/coi — static cone-of-influence analysis. Covers pruning shape (the
+// cone crosses exactly k register boundaries, independent logic stays out,
+// memories enter through their write ports) and pruning *correctness*: state
+// outside the k-cycle cone of a property's roots cannot change the property's
+// SAT answer, so clamping it to arbitrary constants is sound. The lazy
+// unroller's dynamic reduction must also never materialize more nets than the
+// static cone predicts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "encode/coi.h"
+#include "encode/miter.h"
+#include "encode/unroller.h"
+#include "rtlir/builder.h"
+#include "sat/solver.h"
+
+namespace upec::encode {
+namespace {
+
+using rtlir::NetId;
+using rtlir::StateVarId;
+
+// x -> r1 -> r2 -> r3 chain plus an independent toggler z (z_q <- ~z_q).
+struct ChainDesign {
+  rtlir::Design design;
+  std::unique_ptr<rtlir::StateVarTable> svt;
+  NetId x;
+  rtlir::RegHandle r1, r2, r3, z;
+
+  ChainDesign() {
+    rtlir::Builder b(design);
+    x = b.input("x", 4);
+    r1 = b.reg("r1_q", 4);
+    r2 = b.reg("r2_q", 4);
+    r3 = b.reg("r3_q", 4);
+    z = b.reg("z_q", 4);
+    b.connect(r1, x);
+    b.connect(r2, r1.q);
+    b.connect(r3, r2.q);
+    b.connect(z, b.not_(z.q));
+    svt = std::make_unique<rtlir::StateVarTable>(design);
+  }
+
+  std::vector<StateVarId> cone_vars(unsigned k) const {
+    CoiResult coi = cone_of_influence(design, *svt, {r3.q}, k);
+    std::sort(coi.state_vars.begin(), coi.state_vars.end());
+    return coi.state_vars;
+  }
+};
+
+TEST(Coi, ChainCrossesOneRegisterBoundaryPerCycle) {
+  ChainDesign d;
+  const StateVarId sv1 = d.svt->of_register(d.r1.index);
+  const StateVarId sv2 = d.svt->of_register(d.r2.index);
+  const StateVarId sv3 = d.svt->of_register(d.r3.index);
+
+  std::vector<StateVarId> k0{sv3};
+  std::vector<StateVarId> k1{sv2, sv3};
+  std::vector<StateVarId> k2{sv1, sv2, sv3};
+  std::sort(k0.begin(), k0.end());
+  std::sort(k1.begin(), k1.end());
+  std::sort(k2.begin(), k2.end());
+  EXPECT_EQ(d.cone_vars(0), k0);
+  EXPECT_EQ(d.cone_vars(1), k1);
+  EXPECT_EQ(d.cone_vars(2), k2);
+  // Saturation: the whole chain is in the cone, z never is.
+  EXPECT_EQ(d.cone_vars(5), k2);
+}
+
+TEST(Coi, MonotoneInKAndBoundedByDesign) {
+  ChainDesign d;
+  std::size_t prev_nets = 0;
+  for (unsigned k = 0; k <= 4; ++k) {
+    const CoiResult coi = cone_of_influence(d.design, *d.svt, {d.r3.q}, k);
+    EXPECT_LE(prev_nets, coi.reachable_nets) << "cone must grow monotonically with k";
+    EXPECT_LE(coi.reachable_nets, coi.total_nets);
+    prev_nets = coi.reachable_nets;
+    const auto vars = d.cone_vars(k);
+    for (StateVarId sv : d.cone_vars(k > 0 ? k - 1 : 0)) {
+      EXPECT_TRUE(std::find(vars.begin(), vars.end(), sv) != vars.end());
+    }
+  }
+}
+
+TEST(Coi, MemoriesEnterThroughWritePorts) {
+  rtlir::Design design;
+  rtlir::Builder b(design);
+  const NetId waddr = b.input("waddr", 2);
+  const NetId wdata = b.input("wdata", 8);
+  const rtlir::MemHandle mem = b.memory("ram", 4, 8);
+  b.mem_write(mem, waddr, wdata, b.one(1));
+  const rtlir::RegHandle out = b.reg("out_q", 8);
+  b.connect(out, b.mem_read(mem, b.zero(2)));
+  const rtlir::StateVarTable svt(design);
+
+  // k=0: only the output register. k=1: the read crosses into the memory,
+  // which contributes every word (word-level precision is the job of the
+  // symbolic exemption machinery, not the static cone).
+  CoiResult k0 = cone_of_influence(design, svt, {out.q}, 0);
+  CoiResult k1 = cone_of_influence(design, svt, {out.q}, 1);
+  EXPECT_EQ(k0.state_vars.size(), 1u);
+  EXPECT_EQ(k1.state_vars.size(), 1u + 4u);
+}
+
+// Pruning correctness: clamping out-of-cone state to arbitrary constants
+// must not change any property over the roots. Encode "r3 at frame k equals
+// value v" twice — once free, once with z_q (outside the cone) clamped — and
+// compare SAT verdicts for every v.
+TEST(Coi, OutOfConeStateCannotAffectPropertySat) {
+  for (const std::uint64_t clamp : {0ull, 0xFull, 0x5ull}) {
+    for (unsigned v = 0; v < 16; ++v) {
+      bool results[2];
+      for (const bool clamp_z : {false, true}) {
+        ChainDesign d;
+        sat::Solver solver;
+        CnfBuilder cnf(solver);
+        UnrolledInstance inst(cnf, d.design, *d.svt, "coi");
+        const Bits& root = inst.net_at(2, d.r3.q);
+        if (clamp_z) {
+          const Bits& z0 = inst.state_at(0, d.svt->of_register(d.z.index));
+          for (std::size_t i = 0; i < z0.size(); ++i) {
+            solver.add_clause(clamp >> i & 1 ? z0[i] : ~z0[i]);
+          }
+        }
+        const Lit target = cnf.v_eq(root, cnf.constant_vec(BitVec(4, v)));
+        results[clamp_z ? 1 : 0] = solver.solve({target});
+      }
+      EXPECT_EQ(results[0], results[1]) << "v=" << v << " clamp=" << clamp;
+    }
+  }
+}
+
+// The lazy unroller's dynamic reduction is bounded by the static cone: it
+// never materializes a net image outside the k-cycle cone of what was asked.
+TEST(Coi, LazyEncoderMaterializesAtMostTheStaticCone) {
+  ChainDesign d;
+  sat::Solver solver;
+  CnfBuilder cnf(solver);
+  UnrolledInstance inst(cnf, d.design, *d.svt, "coi");
+  inst.net_at(2, d.r3.q);
+  const CoiResult coi = cone_of_influence(d.design, *d.svt, {d.r3.q}, 2);
+  EXPECT_LE(inst.encoded_net_images(), coi.reachable_nets);
+  EXPECT_LT(coi.reachable_nets, coi.total_nets) << "z's toggler logic must stay out";
+}
+
+// COI-reduced vs full encoding agree on the miter-level SAT/UNSAT questions
+// Alg. 1 asks: restricting the equivalence assumptions to the cone of the
+// checked variable does not change the verdict.
+TEST(Coi, ReducedAssumptionSetAgreesWithFullOnMiterQueries) {
+  ChainDesign d;
+
+  auto check = [&](bool only_cone_assumptions) {
+    sat::Solver solver;
+    encode::Miter m(solver, d.design, *d.svt, MiterOptions{});
+    const StateVarId target = d.svt->of_register(d.r2.index);
+    const CoiResult coi = cone_of_influence(d.design, *d.svt, {d.r2.q}, 1);
+    std::vector<Lit> assumptions;
+    for (StateVarId sv = 0; sv < d.svt->size(); ++sv) {
+      const bool in_cone =
+          std::find(coi.state_vars.begin(), coi.state_vars.end(), sv) != coi.state_vars.end();
+      if (!only_cone_assumptions || in_cone) assumptions.push_back(m.eq_assumption(sv));
+    }
+    assumptions.push_back(m.diff_literal(target, 1));
+    return solver.solve(assumptions);
+  };
+  // r2@1 = r1@0 and r1 is assumed equal either way: UNSAT in both encodings.
+  EXPECT_FALSE(check(false));
+  EXPECT_FALSE(check(true));
+}
+
+} // namespace
+} // namespace upec::encode

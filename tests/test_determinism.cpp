@@ -1,0 +1,143 @@
+// Multi-threaded verification must be bit-identical to single-threaded.
+//
+// The scheduler's guarantee (ipc/scheduler.h): the per-iteration
+// counterexample sets are semantic — {sv : diff(sv) satisfiable} — so
+// verdicts, iteration shapes, leaking-variable sets and frame counts cannot
+// depend on the thread count, worker partition, or CDCL model order. These
+// tests pin that contract on both headline workloads (vulnerable baseline,
+// secure countermeasure) for Alg. 1 and Alg. 2.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "upec/report.h"
+
+namespace upec {
+namespace {
+
+soc::Soc small_soc() {
+  soc::SocConfig cfg;
+  cfg.pub_ram_words = 16;
+  cfg.priv_ram_words = 8;
+  return soc::build_pulpissimo(cfg);
+}
+
+VerifyOptions with_threads(VerifyOptions options, unsigned threads) {
+  options.threads = threads;
+  return options;
+}
+
+// S_pers restricted to the Sec 4.1 scenario (accelerator + public memory),
+// mirroring test_upec.
+VerifyOptions hwpe_scenario_options(const soc::Soc& soc) {
+  VerifyOptions options;
+  auto svt = std::make_shared<rtlir::StateVarTable>(*soc.design);
+  options.s_pers_filter = [svt](rtlir::StateVarId sv) {
+    const std::string name = svt->name(sv);
+    return name.find(".hwpe.") != std::string::npos ||
+           name.find("pub_ram.mem[") != std::string::npos;
+  };
+  return options;
+}
+
+void expect_same_alg1(const Alg1Result& seq, const Alg1Result& par) {
+  EXPECT_EQ(seq.verdict, par.verdict);
+  ASSERT_EQ(seq.iterations.size(), par.iterations.size());
+  for (std::size_t i = 0; i < seq.iterations.size(); ++i) {
+    const IterationLog& a = seq.iterations[i];
+    const IterationLog& b = par.iterations[i];
+    EXPECT_EQ(a.s_size, b.s_size) << "iteration " << i;
+    EXPECT_EQ(a.cex_size, b.cex_size) << "iteration " << i;
+    EXPECT_EQ(a.pers_hits, b.pers_hits) << "iteration " << i;
+    EXPECT_EQ(a.status, b.status) << "iteration " << i;
+    EXPECT_EQ(a.removed, b.removed) << "iteration " << i;  // sorted in both modes
+  }
+  EXPECT_EQ(seq.persistent_hits, par.persistent_hits);
+  EXPECT_EQ(seq.full_cex, par.full_cex);
+  EXPECT_EQ(seq.final_s == par.final_s, true);
+  EXPECT_EQ(seq.waveform.has_value(), par.waveform.has_value());
+}
+
+TEST(Determinism, VulnerableAlg1IdenticalAcrossThreadCounts) {
+  const soc::Soc soc = small_soc();
+  const Alg1Result seq = verify_2cycle(soc, with_threads({}, 1));
+  const Alg1Result par = verify_2cycle(soc, with_threads({}, 4));
+  ASSERT_EQ(seq.verdict, Verdict::Vulnerable);
+  expect_same_alg1(seq, par);
+  EXPECT_TRUE(seq.stats.per_worker.empty());
+  EXPECT_EQ(par.stats.per_worker.size(), 4u);
+}
+
+TEST(Determinism, SecureAlg1IdenticalAcrossThreadCounts) {
+  const soc::Soc soc = small_soc();
+  const Alg1Result seq = verify_2cycle(soc, with_threads(countermeasure_options(), 1));
+  const Alg1Result par = verify_2cycle(soc, with_threads(countermeasure_options(), 4));
+  ASSERT_EQ(seq.verdict, Verdict::Secure);
+  expect_same_alg1(seq, par);
+}
+
+TEST(Determinism, SecureAlg1AlsoMatchesOddThreadCount) {
+  // The partition (round-robin over W chunks) must not leak into results:
+  // W=3 splits every iteration differently than W=4 yet must agree.
+  const soc::Soc soc = small_soc();
+  const Alg1Result a = verify_2cycle(soc, with_threads(countermeasure_options(), 3));
+  const Alg1Result b = verify_2cycle(soc, with_threads(countermeasure_options(), 4));
+  expect_same_alg1(a, b);
+}
+
+TEST(Determinism, VulnerableAlg2IdenticalAcrossThreadCounts) {
+  const soc::Soc soc = small_soc();
+  const Alg2Result seq = verify_unrolled(soc, with_threads(hwpe_scenario_options(soc), 1));
+  const Alg2Result par = verify_unrolled(soc, with_threads(hwpe_scenario_options(soc), 4));
+  ASSERT_EQ(seq.verdict, Verdict::Vulnerable);
+  EXPECT_EQ(seq.verdict, par.verdict);
+  EXPECT_EQ(seq.final_k, par.final_k);
+  ASSERT_EQ(seq.steps.size(), par.steps.size());
+  for (std::size_t i = 0; i < seq.steps.size(); ++i) {
+    EXPECT_EQ(seq.steps[i].k, par.steps[i].k) << "step " << i;
+    EXPECT_EQ(seq.steps[i].iteration.s_size, par.steps[i].iteration.s_size) << "step " << i;
+    EXPECT_EQ(seq.steps[i].iteration.removed, par.steps[i].iteration.removed) << "step " << i;
+  }
+  EXPECT_EQ(seq.persistent_hits, par.persistent_hits);
+  EXPECT_EQ(seq.full_cex, par.full_cex);
+  EXPECT_EQ(seq.waveform.has_value(), par.waveform.has_value());
+}
+
+TEST(Determinism, NonSaturatingModeBypassesSchedulerAndStaysIdentical) {
+  // saturate_cex = false is a single-model ablation; it must run on the main
+  // solver even under threads > 1 so its (model-order-dependent) results
+  // cannot diverge across thread counts.
+  const soc::Soc soc = small_soc();
+  Alg1Options opts;
+  opts.saturate_cex = false;
+  opts.extract_waveform = false;
+
+  UpecContext seq_ctx(soc, with_threads({}, 1));
+  UpecContext par_ctx(soc, with_threads({}, 4));
+  const Alg1Result seq = run_alg1(seq_ctx, opts);
+  const Alg1Result par = run_alg1(par_ctx, opts);
+  expect_same_alg1(seq, par);
+  // No sweep ran on the workers.
+  std::uint64_t worker_solves = 0;
+  for (const auto& w : par.stats.per_worker) worker_solves += w.solve_calls;
+  EXPECT_EQ(worker_solves, 0u);
+}
+
+TEST(Determinism, WorkerBreakdownAppearsInReport) {
+  const soc::Soc soc = small_soc();
+  UpecContext ctx(soc, with_threads(hwpe_scenario_options(soc), 2));
+  Alg1Options opts;
+  opts.extract_waveform = false;
+  const Alg1Result result = run_alg1(ctx, opts);
+  ASSERT_EQ(result.stats.per_worker.size(), 2u);
+  // Workers actually solved (the sweep ran there, not on the main solver).
+  std::uint64_t worker_solves = 0;
+  for (const auto& w : result.stats.per_worker) worker_solves += w.solve_calls;
+  EXPECT_GT(worker_solves, 0u);
+  const std::string report = render_report(ctx, result);
+  EXPECT_NE(report.find("+ 2 workers"), std::string::npos) << report;
+  EXPECT_NE(report.find("worker 1:"), std::string::npos) << report;
+}
+
+} // namespace
+} // namespace upec

@@ -3,6 +3,7 @@
 // with cycle-accurate evaluation. This pins down that the formal engine and
 // the attack-simulation engine see the same hardware semantics.
 #include <gtest/gtest.h>
+#include "sat/solver.h"
 
 #include "encode/coi.h"
 #include "encode/miter.h"

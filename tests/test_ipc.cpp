@@ -2,6 +2,7 @@
 // counterexample waveform extraction, and the inductive-invariant machinery
 // (including the environment-constraint split used by firmware constraints).
 #include <gtest/gtest.h>
+#include "sat/solver.h"
 
 #include "ipc/cex.h"
 #include "ipc/engine.h"

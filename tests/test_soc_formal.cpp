@@ -3,6 +3,7 @@
 // UPEC-SSC proofs use — one-hot arbitration, routing consistency, and
 // protocol invariants that the higher-level security proofs rely on.
 #include <gtest/gtest.h>
+#include "sat/solver.h"
 
 #include "encode/unroller.h"
 #include "ipc/invariant.h"

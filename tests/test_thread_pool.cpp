@@ -1,0 +1,79 @@
+// util::ThreadPool — the batch-barrier substrate under the check scheduler.
+// The contract the scheduler depends on: run_all returns only after every
+// task ran (happens-before for result merging), batches can be issued
+// back-to-back, and task exceptions surface after the batch completed instead
+// of abandoning it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/thread_pool.h"
+
+namespace upec::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> runs(64);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    tasks.push_back([&runs, i] { runs[i].fetch_add(1); });
+  }
+  pool.run_all(std::move(tasks));
+  for (const auto& r : runs) EXPECT_EQ(r.load(), 1);
+}
+
+TEST(ThreadPool, BarrierMakesWorkerWritesVisible) {
+  ThreadPool pool(3);
+  // Plain (non-atomic) per-task slots: legal because each slot is written by
+  // exactly one task and read only after the run_all barrier.
+  std::vector<int> out(100, 0);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    tasks.push_back([&out, i] { out[i] = static_cast<int>(i) + 1; });
+  }
+  pool.run_all(std::move(tasks));
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 100 * 101 / 2);
+}
+
+TEST(ThreadPool, BackToBackBatchesReuseWorkers) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 50; ++batch) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 5; ++i) tasks.push_back([&total] { total.fetch_add(1); });
+    pool.run_all(std::move(tasks));
+  }
+  EXPECT_EQ(total.load(), 250);
+}
+
+TEST(ThreadPool, ExceptionSurfacesAfterBatchCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> finished{0};
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([] { throw std::runtime_error("task 0 failed"); });
+  for (int i = 0; i < 8; ++i) tasks.push_back([&finished] { finished.fetch_add(1); });
+  EXPECT_THROW(pool.run_all(std::move(tasks)), std::runtime_error);
+  // The batch is never abandoned half-finished.
+  EXPECT_EQ(finished.load(), 8);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  int ran = 0;
+  pool.run_all({[&ran] { ++ran; }, [&ran] { ++ran; }});
+  EXPECT_EQ(ran, 2);
+  EXPECT_THROW(pool.run_all({[] { throw std::logic_error("inline"); }}), std::logic_error);
+}
+
+TEST(ThreadPool, EmptyBatchIsANoOp) {
+  ThreadPool pool(2);
+  pool.run_all({});
+}
+
+} // namespace
+} // namespace upec::util
