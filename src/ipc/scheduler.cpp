@@ -7,12 +7,15 @@
 namespace upec::ipc {
 
 CheckScheduler::CheckScheduler(sat::CnfStore& store, unsigned threads,
-                               std::uint64_t conflict_budget)
+                               std::uint64_t conflict_budget, bool share_clauses)
     : store_(store), pool_(threads == 0 ? 1 : threads) {
   const unsigned n = threads == 0 ? 1 : threads;
+  // A sharing channel needs at least two participants to be anything but
+  // overhead (collect filters out a reader's own publishes).
+  if (share_clauses && n > 1) channel_ = std::make_unique<sat::ClauseChannel>();
   backends_.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
-    backends_.push_back(std::make_unique<sat::InprocBackend>(conflict_budget));
+    backends_.push_back(std::make_unique<sat::InprocBackend>(conflict_budget, channel_.get(), i));
   }
 }
 
@@ -106,14 +109,31 @@ SweepResult CheckScheduler::sweep(encode::Miter& miter,
       });
       if (remaining[w].empty()) active[w] = 0;
     }
+
+    // Retire this round's activation literals: each guards exactly one
+    // batch's disjunction, so pin ~act as a root unit in the shared store
+    // (and, through the tee, the main solver). BCP then treats the retired
+    // disjunction clause as satisfied everywhere it was hydrated instead of
+    // re-scanning a dead clause forever; store growth per round stays O(W).
+    // Safe here: workers are idle after the barrier, and their models were
+    // already harvested above (model reads never touch the trail).
+    for (unsigned w = 0; w < W; ++w) {
+      if (act[w] != encode::Lit::undef()) {
+        miter.cnf().add_clause(std::vector<encode::Lit>{~act[w]});
+      }
+    }
   }
 
   std::sort(result.differing.begin(), result.differing.end());
+  result.imported_per_worker.resize(W, 0);
   for (unsigned w = 0; w < W; ++w) {
     const sat::SolverStats delta = backends_[w]->stats() - before[w];
     result.conflicts += delta.conflicts;
     result.decisions += delta.decisions;
     result.propagations += delta.propagations;
+    result.exported += delta.exported_clauses;
+    result.imported += delta.imported_clauses;
+    result.imported_per_worker[w] = delta.imported_clauses;
   }
   result.status = unknown ? CheckStatus::Unknown
                   : result.differing.empty() ? CheckStatus::Holds

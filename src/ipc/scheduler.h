@@ -44,6 +44,10 @@ struct SweepResult {
   std::uint64_t conflicts = 0;               // summed over workers
   std::uint64_t decisions = 0;
   std::uint64_t propagations = 0;
+  // Learned-clause sharing traffic during this sweep (zero with sharing off).
+  std::uint64_t exported = 0;                   // summed over workers
+  std::uint64_t imported = 0;                   // summed over workers
+  std::vector<std::uint64_t> imported_per_worker;  // one entry per worker
   std::size_t solve_calls = 0;
   unsigned rounds = 0;
 };
@@ -51,9 +55,20 @@ struct SweepResult {
 class CheckScheduler {
 public:
   // `threads` worker solvers, each with the given per-solve conflict budget.
-  CheckScheduler(sat::CnfStore& store, unsigned threads, std::uint64_t conflict_budget = 0);
+  // With `share_clauses` (and more than one worker), the workers exchange
+  // low-LBD learnt clauses through a ClauseChannel: exported at learn time,
+  // imported only at each worker's restart boundaries. Sharing only adds
+  // clauses already implied by the shared store, so it changes how fast a
+  // chunk's verdict is reached, never which verdict — the determinism
+  // contract below is unaffected (pinned by test_determinism with sharing on
+  // and off).
+  CheckScheduler(sat::CnfStore& store, unsigned threads, std::uint64_t conflict_budget = 0,
+                 bool share_clauses = true);
 
   unsigned workers() const { return static_cast<unsigned>(backends_.size()); }
+
+  // Total clauses published into the sharing channel (0 when sharing is off).
+  std::size_t shared_clauses() const { return channel_ ? channel_->published() : 0; }
 
   // Finds every candidate whose diff literal at `frame` is satisfiable under
   // `assumptions`. Encodes missing diff/activation literals through
@@ -67,6 +82,7 @@ public:
 private:
   sat::CnfStore& store_;
   util::ThreadPool pool_;
+  std::unique_ptr<sat::ClauseChannel> channel_;  // non-null iff sharing enabled
   std::vector<std::unique_ptr<sat::SolverBackend>> backends_;
 };
 

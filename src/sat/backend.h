@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "sat/share.h"
 #include "sat/snapshot.h"
 #include "sat/solver.h"
 
@@ -37,8 +38,24 @@ public:
 // single-solver setup did.
 class InprocBackend final : public SolverBackend {
 public:
-  explicit InprocBackend(std::uint64_t conflict_budget = 0) {
+  // With a channel, the backend's solver exports its learnt clauses (under
+  // the channel's LBD/size caps) tagged with `worker_id` and imports foreign
+  // clauses at its restart boundaries. `channel` must outlive the backend;
+  // nullptr disables sharing entirely.
+  explicit InprocBackend(std::uint64_t conflict_budget = 0, ClauseChannel* channel = nullptr,
+                         unsigned worker_id = 0)
+      : channel_(channel), worker_id_(worker_id) {
     solver_.set_conflict_budget(conflict_budget);
+    if (channel_ != nullptr) {
+      solver_.set_export_hook(
+          [this](const std::vector<Lit>& lits, unsigned lbd) {
+            channel_->publish(worker_id_, lits, lbd);
+          },
+          channel_->lbd_cap(), channel_->size_cap());
+      solver_.set_import_hook([this](std::vector<SharedClause>& out) {
+        channel_->collect(worker_id_, channel_cursor_, out);
+      });
+    }
   }
 
   void sync(const CnfSnapshot& snap) override { ok_ = snap.load_into(solver_, cursor_) && ok_; }
@@ -61,6 +78,9 @@ public:
 private:
   Solver solver_;
   CnfSnapshot::Cursor cursor_;
+  ClauseChannel* channel_ = nullptr;
+  unsigned worker_id_ = 0;
+  std::size_t channel_cursor_ = 0;
   bool ok_ = true;
 };
 

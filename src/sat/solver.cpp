@@ -234,17 +234,36 @@ void Solver::analyze(ClauseRef confl, std::vector<Lit>& out_learnt, int& out_btl
     out_btlevel = var_info_[static_cast<std::size_t>(out_learnt[1].var())].level;
   }
   // LBD: number of distinct decision levels in the learnt clause.
-  out_lbd = 0;
-  std::uint64_t level_seen_lo = 0, level_seen_hi = 0;
+  lbd_levels_.clear();
   for (Lit l : out_learnt) {
-    const int lv = var_info_[static_cast<std::size_t>(l.var())].level;
-    std::uint64_t& word = (lv & 64) ? level_seen_hi : level_seen_lo;
-    const std::uint64_t bit = 1ULL << (lv & 63);
-    if (!(word & bit)) {
-      word |= bit;
-      ++out_lbd;
+    lbd_levels_.push_back(var_info_[static_cast<std::size_t>(l.var())].level);
+  }
+  out_lbd = distinct_level_count(lbd_levels_);
+}
+
+unsigned Solver::distinct_level_count(const std::vector<int>& levels) {
+  // Levels 0..127 via a two-word bitmap. The former `lv & 64` word select
+  // aliased level 128 onto level 0's bit (and generally lv onto lv mod 128),
+  // undercounting LBD on deep searches — which would let the wrong clauses
+  // survive reduce_db and leak through an LBD-capped export policy. Levels
+  // >= 128 therefore use an exact (small, rare) fallback set.
+  unsigned count = 0;
+  std::uint64_t seen_lo = 0, seen_hi = 0;
+  std::vector<int> deep;
+  for (const int lv : levels) {
+    if (lv < 128) {
+      std::uint64_t& word = (lv >= 64) ? seen_hi : seen_lo;
+      const std::uint64_t bit = 1ULL << (lv & 63);
+      if (!(word & bit)) {
+        word |= bit;
+        ++count;
+      }
+    } else if (std::find(deep.begin(), deep.end(), lv) == deep.end()) {
+      deep.push_back(lv);
+      ++count;
     }
   }
+  return count;
 }
 
 bool Solver::lit_redundant(Lit p, std::uint32_t abstract_levels) {
@@ -354,12 +373,96 @@ void Solver::reduce_db() {
     if (i < target && cd.lbd > 2 && !locked) {
       detach_clause(cr);
       cd.deleted = true;
+      garbage_lits_ += cd.size;
       ++stats_.deleted_clauses;
     } else {
       kept.push_back(cr);
     }
   }
   learnts_ = std::move(kept);
+  // Deleted clauses are detached (no watcher refs) and never reasons (locked
+  // clauses are kept), so their storage is reclaimable. Compact once a
+  // quarter of the arena is dead; without this, lit_arena_/clauses_ grow
+  // monotonically — an unbounded leak over long portfolio runs.
+  if (garbage_lits_ * 4 > lit_arena_.size()) garbage_collect();
+}
+
+void Solver::garbage_collect() {
+  std::vector<ClauseRef> remap(clauses_.size(), kNoClause);
+  std::vector<ClauseData> live_clauses;
+  std::vector<Lit> live_arena;
+  live_clauses.reserve(clauses_.size());
+  live_arena.reserve(lit_arena_.size() - garbage_lits_);
+  for (ClauseRef c = 0; c < static_cast<ClauseRef>(clauses_.size()); ++c) {
+    const ClauseData& cd = clauses_[c];
+    if (cd.deleted) continue;
+    remap[c] = static_cast<ClauseRef>(live_clauses.size());
+    ClauseData nd = cd;
+    nd.offset = static_cast<std::uint32_t>(live_arena.size());
+    live_arena.insert(live_arena.end(), lit_arena_.begin() + cd.offset,
+                      lit_arena_.begin() + cd.offset + cd.size);
+    live_clauses.push_back(nd);
+  }
+  // Remap every live ClauseRef: the learnt list, all watchers, and the
+  // reasons of assigned variables (only trail entries can be consulted as
+  // reasons; stale refs on unassigned variables are never dereferenced).
+  for (ClauseRef& cr : learnts_) cr = remap[cr];
+  for (auto& ws : watches_) {
+    for (Watcher& w : ws) w.cref = remap[w.cref];
+  }
+  for (const Lit p : trail_) {
+    ClauseRef& reason = var_info_[static_cast<std::size_t>(p.var())].reason;
+    if (reason != kNoClause) reason = remap[reason];
+  }
+  clauses_ = std::move(live_clauses);
+  lit_arena_ = std::move(live_arena);
+  garbage_lits_ = 0;
+}
+
+bool Solver::import_foreign() {
+  if (import_buf_.empty()) return true;
+  assert(decision_level() == 0);
+  bool enqueued = false;
+  for (const SharedClause& sc : import_buf_) {
+    // Simplify against root-level facts before attaching: a clause whose
+    // watched literals are already false would never wake propagation again,
+    // and a model could silently violate it.
+    std::vector<Lit> out;
+    out.reserve(sc.lits.size());
+    bool satisfied = false;
+    bool in_range = true;
+    for (const Lit l : sc.lits) {
+      if (static_cast<std::size_t>(l.var()) >= assigns_.size()) {
+        in_range = false;  // exporter ran ahead of our snapshot; drop
+        break;
+      }
+      const LBool v = value(l);
+      if (v == LBool::True) {
+        satisfied = true;
+        break;
+      }
+      if (v == LBool::Undef) out.push_back(l);
+    }
+    if (!in_range || satisfied) continue;
+    ++stats_.imported_clauses;
+    if (out.empty()) {
+      ok_ = false;
+      break;
+    }
+    if (out.size() == 1) {
+      uncheckedEnqueue(out[0], kNoClause);
+      enqueued = true;
+    } else {
+      const ClauseRef cr = alloc_clause(out, /*learned=*/true);
+      clauses_[cr].lbd = std::min<std::uint32_t>(sc.lbd != 0 ? sc.lbd : 2,
+                                                 static_cast<std::uint32_t>(out.size()));
+      attach_clause(cr);
+      learnts_.push_back(cr);
+    }
+  }
+  import_buf_.clear();
+  if (ok_ && enqueued && propagate() != kNoClause) ok_ = false;
+  return ok_;
 }
 
 double Solver::luby(double y, int x) {
@@ -385,6 +488,13 @@ bool Solver::solve(const std::vector<Lit>& assumptions) {
 
   cancel_until(0);
 
+  // Solve entry is a restart boundary: drain foreign clauses accumulated
+  // since the last call before any search starts.
+  if (import_hook_) {
+    import_hook_(import_buf_);
+    if (!import_foreign()) return false;
+  }
+
   int restart_count = 0;
   std::uint64_t conflicts_until_restart =
       static_cast<std::uint64_t>(luby(2.0, restart_count) * 100);
@@ -409,6 +519,10 @@ bool Solver::solve(const std::vector<Lit>& assumptions) {
       int bt_level = 0;
       unsigned lbd = 0;
       analyze(confl, learnt, bt_level, lbd);
+      if (export_hook_ && lbd <= export_lbd_cap_ && learnt.size() <= export_size_cap_) {
+        ++stats_.exported_clauses;
+        export_hook_(learnt, lbd);
+      }
       // Never backtrack past the assumptions: redo them via the decision loop.
       cancel_until(bt_level);
       if (learnt.size() == 1) {
@@ -438,7 +552,16 @@ bool Solver::solve(const std::vector<Lit>& assumptions) {
         ++restart_count;
         conflicts_this_restart = 0;
         conflicts_until_restart = static_cast<std::uint64_t>(luby(2.0, restart_count) * 100);
-        cancel_until(static_cast<int>(assumptions_.size()));
+        // A restart is the only in-solve import point: no analysis is in
+        // flight. Foreign clauses must attach at the root, so only pay the
+        // full backtrack when something actually arrived.
+        if (import_hook_) import_hook_(import_buf_);
+        if (!import_buf_.empty()) {
+          cancel_until(0);
+          if (!import_foreign()) return false;
+        } else {
+          cancel_until(static_cast<int>(assumptions_.size()));
+        }
         continue;
       }
       // Place assumptions as pseudo-decisions first.

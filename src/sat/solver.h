@@ -31,6 +31,9 @@ struct SolverStats {
   std::uint64_t learned_clauses = 0;
   std::uint64_t deleted_clauses = 0;
   std::uint64_t solve_calls = 0;
+  // Learned-clause sharing (zero unless hooks are installed, see below).
+  std::uint64_t exported_clauses = 0;
+  std::uint64_t imported_clauses = 0;
 };
 
 inline SolverStats& operator+=(SolverStats& a, const SolverStats& b) {
@@ -41,6 +44,8 @@ inline SolverStats& operator+=(SolverStats& a, const SolverStats& b) {
   a.learned_clauses += b.learned_clauses;
   a.deleted_clauses += b.deleted_clauses;
   a.solve_calls += b.solve_calls;
+  a.exported_clauses += b.exported_clauses;
+  a.imported_clauses += b.imported_clauses;
   return a;
 }
 
@@ -54,8 +59,18 @@ inline SolverStats operator-(SolverStats a, const SolverStats& b) {
   a.learned_clauses -= b.learned_clauses;
   a.deleted_clauses -= b.deleted_clauses;
   a.solve_calls -= b.solve_calls;
+  a.exported_clauses -= b.exported_clauses;
+  a.imported_clauses -= b.imported_clauses;
   return a;
 }
+
+// A learnt clause in transit between solvers (see sat/share.h). The LBD rides
+// along so the importer can slot the clause into its reduce_db policy without
+// recomputing glue against levels it never saw.
+struct SharedClause {
+  std::vector<Lit> lits;
+  std::uint32_t lbd = 0;
+};
 
 class Solver final : public ClauseSink, public ModelSource {
 public:
@@ -102,6 +117,42 @@ public:
 
   bool okay() const { return ok_; }
 
+  // --- learned-clause sharing --------------------------------------------------
+  // Export: called at learn time for every learnt clause with LBD <= lbd_cap
+  // and size <= size_cap (units export with LBD 1). The clause is implied by
+  // the clause database alone — assumptions are decisions, never premises —
+  // so it is sound to add it to any solver whose database is a superset.
+  using ExportHook = std::function<void(const std::vector<Lit>&, unsigned lbd)>;
+  void set_export_hook(ExportHook hook, unsigned lbd_cap, std::uint32_t size_cap) {
+    export_hook_ = std::move(hook);
+    export_lbd_cap_ = lbd_cap;
+    export_size_cap_ = size_cap;
+  }
+
+  // Import: called at restart boundaries (solve() entry and every Luby
+  // restart) to drain foreign clauses. Import never perturbs in-flight
+  // analysis: when the hook yields clauses the solver first backtracks to the
+  // root level, attaches them there (simplified against root facts), and only
+  // then re-propagates — the decision loop redoes the assumptions.
+  using ImportHook = std::function<void(std::vector<SharedClause>&)>;
+  void set_import_hook(ImportHook hook) { import_hook_ = std::move(hook); }
+
+  // Number of distinct values among `levels`. This is the LBD ("glue") count
+  // of a learnt clause given its literals' decision levels. Levels 0..127 go
+  // through a two-word bitmap; deeper levels use an exact small-set fallback
+  // (a learnt clause rarely spans >128 distinct levels). Public + static so
+  // regression tests can pin the level-aliasing bug class directly.
+  static unsigned distinct_level_count(const std::vector<int>& levels);
+
+  // --- observability for tests -------------------------------------------------
+  // Learnt-DB reduction threshold (default 8192, grows 10% per reduction).
+  void set_max_learnts(std::uint64_t n) { max_learnts_ = n; }
+  std::size_t arena_size() const { return lit_arena_.size(); }
+  // Literals owned by deleted clauses still occupying the arena. Bounded by
+  // garbage collection in reduce_db: never exceeds 1/4 of the arena.
+  std::size_t arena_garbage() const { return garbage_lits_; }
+  std::size_t allocated_clauses() const { return clauses_.size(); }
+
 private:
   struct ClauseData {
     std::uint32_t offset;   // into literal arena
@@ -139,6 +190,13 @@ private:
   void detach_clause(ClauseRef c);
 
   void uncheckedEnqueue(Lit p, ClauseRef from);
+  // Drains the import hook into import_buf_; if clauses arrived, backtracks
+  // to the root and attaches them. Returns false on a root-level conflict
+  // (the formula, shared clauses included, is UNSAT outright).
+  bool import_foreign();
+  // Rebuilds lit_arena_/clauses_ without deleted clauses, remapping every
+  // live ClauseRef (watchers, learnts_, trail reasons).
+  void garbage_collect();
   ClauseRef propagate();
   void analyze(ClauseRef confl, std::vector<Lit>& out_learnt, int& out_btlevel, unsigned& out_lbd);
   bool lit_redundant(Lit p, std::uint32_t abstract_levels);
@@ -193,6 +251,16 @@ private:
   float cla_inc_ = 1.0f;
   std::uint64_t max_learnts_ = 8192;
   std::uint64_t conflict_budget_ = 0;
+
+  // Learned-clause sharing (inert unless hooks installed).
+  ExportHook export_hook_;
+  unsigned export_lbd_cap_ = 0;
+  std::uint32_t export_size_cap_ = 0;
+  ImportHook import_hook_;
+  std::vector<SharedClause> import_buf_;
+
+  std::vector<int> lbd_levels_;     // scratch for the per-conflict LBD count
+  std::size_t garbage_lits_ = 0;    // arena literals held by deleted clauses
 
   SolverStats stats_;
 };

@@ -15,9 +15,11 @@ UpecContext::UpecContext(const soc::Soc& s, VerifyOptions opts)
       macros(miter, s, options.macros),
       pers(svt, s),
       engine(solver),
-      scheduler(options.threads > 1 ? std::make_unique<ipc::CheckScheduler>(
-                                          store, options.threads, options.conflict_budget)
-                                    : nullptr),
+      scheduler(options.threads > 1
+                    ? std::make_unique<ipc::CheckScheduler>(store, options.threads,
+                                                            options.conflict_budget,
+                                                            options.share_clauses)
+                    : nullptr),
       s_pers(StateSet::none(svt)) {
   miter.set_model_source(&solver);
   miter.set_exempt(

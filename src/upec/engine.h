@@ -28,6 +28,14 @@ struct VerifyOptions {
   // clause store. Results are bit-identical for every value (see
   // ipc/scheduler.h).
   unsigned threads = 1;
+  // Worker-to-worker learned-clause sharing (effective only at threads > 1):
+  // workers export low-LBD learnt clauses into a shared channel and import
+  // foreign ones at restart boundaries, cutting the UNSAT work the chunked
+  // sweep otherwise re-proves per worker. Verdicts and frontiers are
+  // unaffected — shared clauses are implied by the common store — so this is
+  // safe to leave on; turning it off is for A/B cost measurements
+  // (bench_clause_sharing).
+  bool share_clauses = true;
   // Optional restriction of S_pers (e.g. "only the HWPE and public RAM" to
   // steer Alg. 1 toward a specific attack scenario in the case study).
   std::function<bool(rtlir::StateVarId)> s_pers_filter;

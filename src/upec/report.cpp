@@ -42,12 +42,21 @@ void render_solver_usage(std::ostringstream& os, const SolverUsage& usage) {
   os << "solver usage (main";
   if (!usage.per_worker.empty()) os << " + " << usage.per_worker.size() << " workers";
   os << "): " << t.solve_calls << " solves, " << t.conflicts << " conflicts, " << t.decisions
-     << " decisions, " << t.propagations << " propagations\n";
+     << " decisions, " << t.propagations << " propagations";
+  if (t.exported_clauses != 0 || t.imported_clauses != 0) {
+    os << ", shared clauses " << t.exported_clauses << " exported / " << t.imported_clauses
+       << " imported";
+  }
+  os << "\n";
   for (std::size_t w = 0; w < usage.per_worker.size(); ++w) {
     const sat::SolverStats& s = usage.per_worker[w];
     os << "  worker " << w << ": " << s.solve_calls << " solves, " << s.conflicts
        << " conflicts, " << s.decisions << " decisions, " << s.propagations
-       << " propagations, " << s.learned_clauses << " learned\n";
+       << " propagations, " << s.learned_clauses << " learned";
+    if (s.exported_clauses != 0 || s.imported_clauses != 0) {
+      os << ", " << s.exported_clauses << " exported, " << s.imported_clauses << " imported";
+    }
+    os << "\n";
   }
 }
 

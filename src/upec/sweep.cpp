@@ -40,6 +40,12 @@ SweepOutcome sweep_sequential(UpecContext& ctx, const std::string& property_name
     prop.violation = ctx.engine.violation_any(ctx.miter.cnf(), diffs);
 
     const ipc::CheckResult check = ctx.engine.check(prop);
+    // The violation literal is single-use: pin it false at the root so the
+    // disjunction clause it guards goes dead for BCP (and for every worker
+    // that later hydrates it) instead of accumulating round after round.
+    // Model reads below are unaffected — they consult the saved model, not
+    // the trail this unit re-propagates.
+    ctx.miter.cnf().add_clause(std::vector<encode::Lit>{~prop.violation});
     out.seconds += check.seconds;
     out.conflicts += check.conflicts;
     if (check.status == ipc::CheckStatus::Unknown) {
@@ -116,6 +122,8 @@ std::optional<ipc::Waveform> extract_pers_waveform(UpecContext& ctx,
   prop.violation = ctx.engine.violation_any(ctx.miter.cnf(), diffs);
 
   const ipc::CheckResult check = ctx.engine.check(prop);
+  // Single-use violation literal; retire it (see sweep_sequential).
+  ctx.miter.cnf().add_clause(std::vector<encode::Lit>{~prop.violation});
   log.seconds += check.seconds;
   log.conflicts += check.conflicts;
   total_seconds += check.seconds;

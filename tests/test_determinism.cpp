@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 
 #include "upec/report.h"
 
@@ -24,6 +25,12 @@ soc::Soc small_soc() {
 
 VerifyOptions with_threads(VerifyOptions options, unsigned threads) {
   options.threads = threads;
+  return options;
+}
+
+VerifyOptions with_sharing(VerifyOptions options, unsigned threads, bool share) {
+  options.threads = threads;
+  options.share_clauses = share;
   return options;
 }
 
@@ -83,6 +90,39 @@ TEST(Determinism, SecureAlg1AlsoMatchesOddThreadCount) {
   const Alg1Result a = verify_2cycle(soc, with_threads(countermeasure_options(), 3));
   const Alg1Result b = verify_2cycle(soc, with_threads(countermeasure_options(), 4));
   expect_same_alg1(a, b);
+}
+
+TEST(Determinism, SecureClauseSharingToggleIdenticalAcrossThreadCounts) {
+  // Imported clauses are implied by the shared store, so toggling sharing —
+  // and the thread count with it — can change how fast each chunk's verdict
+  // is reached, never which verdict. The secure workload is the UNSAT-heavy
+  // one where sharing actually moves the search around.
+  const soc::Soc soc = small_soc();
+  const Alg1Result seq = verify_2cycle(soc, with_sharing(countermeasure_options(), 1, false));
+  ASSERT_EQ(seq.verdict, Verdict::Secure);
+  for (unsigned threads : {3u, 4u}) {
+    for (bool share : {false, true}) {
+      const Alg1Result par =
+          verify_2cycle(soc, with_sharing(countermeasure_options(), threads, share));
+      SCOPED_TRACE("threads=" + std::to_string(threads) + " share=" + std::to_string(share));
+      expect_same_alg1(seq, par);
+    }
+  }
+}
+
+TEST(Determinism, VulnerableClauseSharingToggleIdentical) {
+  // Same toggle on the vulnerable baseline: the saturated counterexample
+  // frontiers (SAT-side harvesting) must not react to sharing either.
+  const soc::Soc soc = small_soc();
+  Alg1Options opts;
+  opts.extract_waveform = false;
+  const Alg1Result seq = verify_2cycle(soc, with_sharing({}, 1, false), opts);
+  ASSERT_EQ(seq.verdict, Verdict::Vulnerable);
+  for (bool share : {false, true}) {
+    const Alg1Result par = verify_2cycle(soc, with_sharing({}, 4, share), opts);
+    SCOPED_TRACE(share ? "sharing on" : "sharing off");
+    expect_same_alg1(seq, par);
+  }
 }
 
 TEST(Determinism, VulnerableAlg2IdenticalAcrossThreadCounts) {

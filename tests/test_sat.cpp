@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "util/rng.h"
 
 namespace upec::sat {
@@ -223,6 +225,189 @@ TEST_P(SatRandom, MatchesBruteForce) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomInstances, SatRandom, ::testing::Range(0, 40));
+
+// Pigeonhole P into P-1, optionally guarded: every clause gets ¬guard so the
+// contradiction only fires under the assumption `guard` and the solver stays
+// usable (ok) after the UNSAT answer.
+void add_pigeonhole(Solver& s, int pigeons, std::optional<Lit> guard = std::nullopt) {
+  const int holes = pigeons - 1;
+  std::vector<std::vector<Var>> x(static_cast<std::size_t>(pigeons));
+  for (auto& row : x) {
+    for (int h = 0; h < holes; ++h) row.push_back(s.new_var());
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> c;
+    if (guard) c.push_back(~*guard);
+    for (int h = 0; h < holes; ++h) c.push_back(pos(x[p][h]));
+    s.add_clause(c);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        std::vector<Lit> c;
+        if (guard) c.push_back(~*guard);
+        c.push_back(neg(x[p1][h]));
+        c.push_back(neg(x[p2][h]));
+        s.add_clause(c);
+      }
+    }
+  }
+}
+
+TEST(Sat, DistinctLevelCountBitmapSplit) {
+  EXPECT_EQ(Solver::distinct_level_count({}), 0u);
+  EXPECT_EQ(Solver::distinct_level_count({0}), 1u);
+  EXPECT_EQ(Solver::distinct_level_count({5, 5, 5}), 1u);
+  EXPECT_EQ(Solver::distinct_level_count({0, 63, 64, 127}), 4u);
+  // The historical aliasing bug: selecting the high bitmap word with
+  // (lv & 64) instead of (lv >= 64) filed levels 128..191 under the low word
+  // again, so level 128 shared level 0's bit and 192 shared 64's — each of
+  // these pairs collapsed to a count of 1.
+  EXPECT_EQ(Solver::distinct_level_count({0, 128}), 2u);
+  EXPECT_EQ(Solver::distinct_level_count({64, 192}), 2u);
+  EXPECT_EQ(Solver::distinct_level_count({1, 129, 129}), 2u);
+}
+
+TEST(Sat, DistinctLevelCountDeepLevelsExact) {
+  std::vector<int> levels;
+  for (int lv = 0; lv < 200; ++lv) levels.push_back(lv);
+  EXPECT_EQ(Solver::distinct_level_count(levels), 200u);
+  for (int lv = 199; lv >= 0; --lv) levels.push_back(lv); // duplicates, reversed
+  EXPECT_EQ(Solver::distinct_level_count(levels), 200u);
+}
+
+TEST(Sat, LearntLbdCountsDeepDecisionStack) {
+  // End-to-end regression for the same aliasing bug: force a conflict whose
+  // learnt clause spans ~200 distinct decision levels. Assumptions are placed
+  // one per pseudo-decision level, so asserting x0..x199 and the clause pair
+  //   (¬x0 ∨ … ∨ ¬x199 ∨ y) and (¬x0 ∨ … ∨ ¬x199 ∨ ¬y)
+  // yields a first-UIP clause over all 200 assumption levels (assumption
+  // literals have no reason, so minimization cannot shrink it). The capped
+  // bitmap computed an LBD of at most 128 here.
+  Solver s;
+  constexpr int N = 200;
+  std::vector<Var> x;
+  for (int i = 0; i < N; ++i) x.push_back(s.new_var());
+  const Var y = s.new_var();
+  std::vector<Lit> c1, c2;
+  for (Var v : x) c1.push_back(neg(v));
+  c2 = c1;
+  c1.push_back(pos(y));
+  c2.push_back(neg(y));
+  s.add_clause(c1);
+  s.add_clause(c2);
+
+  unsigned max_lbd = 0;
+  s.set_export_hook(
+      [&](const std::vector<Lit>&, unsigned lbd) {
+        if (lbd > max_lbd) max_lbd = lbd;
+      },
+      /*lbd_cap=*/1u << 20, /*size_cap=*/1u << 20);
+
+  std::vector<Lit> assumptions;
+  for (Var v : x) assumptions.push_back(pos(v));
+  EXPECT_FALSE(s.solve(assumptions));
+  EXPECT_GE(max_lbd, 150u);
+}
+
+TEST(Sat, ExportHookRespectsCaps) {
+  Solver s;
+  add_pigeonhole(s, 6);
+  std::uint64_t exported = 0;
+  s.set_export_hook(
+      [&](const std::vector<Lit>& lits, unsigned lbd) {
+        ++exported;
+        EXPECT_LE(lbd, 3u);
+        EXPECT_LE(lits.size(), 4u);
+      },
+      /*lbd_cap=*/3, /*size_cap=*/4);
+  EXPECT_FALSE(s.solve());
+  EXPECT_EQ(s.stats().exported_clauses, exported);
+  EXPECT_LE(exported, s.stats().learned_clauses);
+}
+
+TEST(Sat, ImportedUnitForcesUnsat) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_clause(pos(a));
+  bool fed = false;
+  s.set_import_hook([&](std::vector<SharedClause>& out) {
+    if (!fed) {
+      out.push_back(SharedClause{{neg(a)}, 1});
+      fed = true;
+    }
+  });
+  EXPECT_FALSE(s.solve());
+  EXPECT_EQ(s.stats().imported_clauses, 1u);
+}
+
+TEST(Sat, ImportedClauseConstrainsModel) {
+  Solver s;
+  const Var a = s.new_var(), b = s.new_var();
+  s.add_clause(pos(a), pos(b));
+  bool fed = false;
+  s.set_import_hook([&](std::vector<SharedClause>& out) {
+    if (!fed) {
+      out.push_back(SharedClause{{neg(a)}, 1});
+      fed = true;
+    }
+  });
+  ASSERT_TRUE(s.solve());
+  EXPECT_FALSE(s.model_value(a));
+  EXPECT_TRUE(s.model_value(b));
+  EXPECT_EQ(s.validate_model(), 0u);
+}
+
+TEST(Sat, ImportSimplifiesAgainstRootFacts) {
+  Solver s;
+  const Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+  s.add_clause(pos(a)); // root fact
+  bool fed = false;
+  s.set_import_hook([&](std::vector<SharedClause>& out) {
+    if (!fed) {
+      out.push_back(SharedClause{{neg(a), pos(b)}, 2}); // ¬a false at root → unit b
+      out.push_back(SharedClause{{pos(a), pos(c)}, 2}); // satisfied at root → dropped
+      out.push_back(SharedClause{{Lit(Var(100), false)}, 1}); // out of range → dropped
+      fed = true;
+    }
+  });
+  ASSERT_TRUE(s.solve());
+  EXPECT_TRUE(s.model_value(b));
+  // Only the clause that actually entered the database is counted.
+  EXPECT_EQ(s.stats().imported_clauses, 1u);
+}
+
+TEST(Sat, ReduceDbReclaimsArena) {
+  // A small learnt-DB cap on a conflict-heavy instance forces repeated
+  // reductions; deleted clauses must hand their arena storage back instead of
+  // leaking it for the lifetime of the solver.
+  Solver s;
+  add_pigeonhole(s, 7);
+  s.set_max_learnts(50);
+  EXPECT_FALSE(s.solve());
+  ASSERT_GT(s.stats().deleted_clauses, 0u);
+  // Garbage collection keeps dead literals bounded by a quarter of the arena.
+  EXPECT_LE(s.arena_garbage() * 4, s.arena_size());
+  // And actually compacts: live allocation sits well below total-ever.
+  EXPECT_LT(s.allocated_clauses(),
+            static_cast<std::size_t>(s.stats().learned_clauses) / 2);
+}
+
+TEST(Sat, GarbageCollectionKeepsSolverUsable) {
+  // Same workload but guarded by an assumption, so the solver survives the
+  // UNSAT answer: after reductions + compaction all watcher and reason
+  // references must still be valid for further solves in both directions.
+  Solver s;
+  const Var g = s.new_var();
+  add_pigeonhole(s, 7, pos(g));
+  s.set_max_learnts(50);
+  EXPECT_FALSE(s.solve({pos(g)}));
+  EXPECT_GT(s.stats().deleted_clauses, 0u);
+  EXPECT_TRUE(s.okay());
+  ASSERT_TRUE(s.solve()); // g is free: ¬g satisfies every guarded clause
+  EXPECT_EQ(s.validate_model(), 0u);
+  EXPECT_FALSE(s.solve({pos(g)})); // still UNSAT through remapped clauses
+}
 
 } // namespace
 } // namespace upec::sat
