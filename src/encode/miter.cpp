@@ -1,6 +1,7 @@
 #include "encode/miter.h"
 
 #include <cassert>
+#include <unordered_set>
 
 namespace upec::encode {
 
@@ -72,6 +73,7 @@ Lit Miter::eq_assumption(rtlir::StateVarId sv) {
     }
   }
   eq_lits_.emplace(sv, e);
+  eq_lit_sv_.emplace(e.index(), sv);
   return e;
 }
 
@@ -94,6 +96,52 @@ Lit Miter::diff_literal(rtlir::StateVarId sv, unsigned frame) {
   if (!cnf_.is_false(ex)) cnf_.add_clause({~d, ~ex});
   diff_lits_.emplace(key, d);
   return d;
+}
+
+Lit Miter::activation_literal(rtlir::StateVarId sv, unsigned frame) {
+  CandidateGroup& group = candidate_groups_[frame];
+  auto it = group.activation.find(sv);
+  if (it != group.activation.end()) return it->second;
+  register_candidates({sv}, frame);
+  return group.activation.at(sv);
+}
+
+void Miter::register_candidates(const std::vector<rtlir::StateVarId>& svs, unsigned frame) {
+  CandidateGroup& group = candidate_groups_[frame];
+  std::vector<Lit> fresh_acts;
+  for (rtlir::StateVarId sv : svs) {
+    if (group.activation.find(sv) != group.activation.end()) continue;
+    const Lit d = diff_literal(sv, frame);
+    const Lit e = cnf_.fresh();
+    cnf_.add_clause({~e, d}); // e -> diff(sv, frame)
+    group.activation.emplace(sv, e);
+    group.members.push_back(sv);
+    fresh_acts.push_back(e);
+  }
+  if (fresh_acts.empty()) return;
+  // Extend (or open) the group-disjunction chain with the new batch. The new
+  // tail stays unconstrained until the next batch; selection assumes it false
+  // to close the chain.
+  const Lit new_tail = cnf_.fresh();
+  std::vector<Lit> clause;
+  clause.reserve(fresh_acts.size() + 2);
+  if (group.tail != Lit::undef()) clause.push_back(~group.tail);
+  clause.insert(clause.end(), fresh_acts.begin(), fresh_acts.end());
+  clause.push_back(new_tail);
+  cnf_.add_clause(clause);
+  group.tail = new_tail;
+}
+
+void Miter::select_candidates(unsigned frame, const std::vector<rtlir::StateVarId>& enabled,
+                              std::vector<Lit>& out_assumptions) const {
+  const auto git = candidate_groups_.find(frame);
+  assert(git != candidate_groups_.end() && "select before register_candidates");
+  const CandidateGroup& group = git->second;
+  std::unordered_set<rtlir::StateVarId> on(enabled.begin(), enabled.end());
+  for (rtlir::StateVarId sv : group.members) {
+    if (on.find(sv) == on.end()) out_assumptions.push_back(~group.activation.at(sv));
+  }
+  out_assumptions.push_back(~group.tail);
 }
 
 std::uint64_t Miter::model_value(const sat::ModelSource& model, const Bits& image) const {

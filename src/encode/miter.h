@@ -73,8 +73,42 @@ public:
   // Activation literal for "sv equal at frame 0 (unless exempt)".
   Lit eq_assumption(rtlir::StateVarId sv);
 
+  // Reverse lookup for UNSAT-core mining: true iff `l` is an eq_assumption
+  // literal, storing its state variable in *sv.
+  bool eq_assumption_var(Lit l, rtlir::StateVarId* sv) const {
+    auto it = eq_lit_sv_.find(l.index());
+    if (it == eq_lit_sv_.end()) return false;
+    *sv = it->second;
+    return true;
+  }
+
   // Literal d with d -> (sv differs at `frame` and is not exempt).
   Lit diff_literal(rtlir::StateVarId sv, unsigned frame);
+
+  // --- persistent candidate activation (incremental sweeps) --------------------
+  // One activation literal e per (sv, frame), encoded exactly once:
+  //   e -> diff(sv, frame)
+  // together with a per-frame group disjunction over every registered
+  // activation, chain-extended as candidates register late:
+  //   (e_1 | ... | e_n | tail_0)        first registration batch
+  //   (~tail_0 | e_n+1 | ... | tail_1)  each later batch
+  // A sweep round then *selects* its candidate subset purely through
+  // assumptions — ~e for every deselected candidate plus ~tail for the open
+  // chain end — so the query "can any selected candidate differ at `frame`?"
+  // never re-encodes anything: solvers keep their learnt clauses live across
+  // rounds and iterations, and the CNF stream is identical for every thread
+  // count. See README "Incremental sweeps" for the soundness argument.
+  Lit activation_literal(rtlir::StateVarId sv, unsigned frame);
+
+  // Ensures every sv in `svs` has an activation literal registered in the
+  // frame's group disjunction (no-op for already-registered candidates).
+  void register_candidates(const std::vector<rtlir::StateVarId>& svs, unsigned frame);
+
+  // Appends the selecting assumptions for "some member of `enabled` differs
+  // at `frame`": ~e for each registered candidate not in `enabled`, plus the
+  // negated open chain tail. Every member of `enabled` must be registered.
+  void select_candidates(unsigned frame, const std::vector<rtlir::StateVarId>& enabled,
+                         std::vector<Lit>& out_assumptions) const;
 
   // --- model inspection (valid after a SAT solve) ------------------------------
   // The default model source (the main solver in the single-solver setup).
@@ -107,8 +141,18 @@ private:
   std::function<Lit(Miter&, rtlir::StateVarId)> exempt_fn_;
   std::unordered_map<std::uint64_t, Bits> shared_input_cache_; // (frame<<32)|input_idx
   std::unordered_map<rtlir::StateVarId, Lit> eq_lits_;
+  std::unordered_map<std::int32_t, rtlir::StateVarId> eq_lit_sv_; // Lit::index -> sv
   std::unordered_map<std::uint64_t, Lit> diff_lits_; // (frame<<32)|sv
   std::unordered_map<rtlir::StateVarId, Lit> exempt_cache_;
+
+  // Per-frame candidate activation groups (registration order preserved for
+  // deterministic assumption construction).
+  struct CandidateGroup {
+    std::vector<rtlir::StateVarId> members;
+    std::unordered_map<rtlir::StateVarId, Lit> activation;
+    Lit tail = Lit::undef(); // open end of the group-disjunction chain
+  };
+  std::unordered_map<unsigned, CandidateGroup> candidate_groups_;
 };
 
 } // namespace upec::encode

@@ -19,12 +19,30 @@ encode::Lit Engine::violation_any(encode::CnfBuilder& cnf,
 }
 
 CheckResult Engine::check(const BoundedProperty& property) {
-  CheckResult result;
-  const sat::SolverStats before = solver_.stats();
-  const auto t0 = std::chrono::steady_clock::now();
-
   std::vector<encode::Lit> assumptions = property.assumptions;
   assumptions.push_back(property.violation);
+  return check_assumptions(assumptions);
+}
+
+CheckResult Engine::check_assumptions(const std::vector<encode::Lit>& assumptions,
+                                      std::vector<encode::Lit>* core_out) {
+  CheckResult result;
+  if (core_out != nullptr) core_out->clear();
+
+  const bool cached = cache_ != nullptr && store_ != nullptr;
+  sat::CnfSnapshot::Cursor cursor;
+  if (cached) {
+    cursor = sat::CnfSnapshot::Cursor{store_->num_vars(), store_->num_clauses()};
+    if (cache_->lookup_unsat(cursor, assumptions, core_out)) {
+      ++cache_hits_;
+      result.status = CheckStatus::Holds;
+      return result;
+    }
+    ++cache_misses_;
+  }
+
+  const sat::SolverStats before = solver_.stats();
+  const auto t0 = std::chrono::steady_clock::now();
 
   bool sat_result = false;
   bool interrupted = false;
@@ -43,6 +61,12 @@ CheckResult Engine::check(const BoundedProperty& property) {
   result.status = interrupted ? CheckStatus::Unknown
                   : sat_result ? CheckStatus::Violated
                                : CheckStatus::Holds;
+
+  if (result.status == CheckStatus::Holds) {
+    const std::vector<encode::Lit>& core = solver_.conflict_assumptions();
+    if (cached) cache_->insert_unsat(cursor, assumptions, core);
+    if (core_out != nullptr) *core_out = core;
+  }
   return result;
 }
 

@@ -6,16 +6,18 @@
 
 namespace upec::ipc {
 
-CheckScheduler::CheckScheduler(sat::CnfStore& store, unsigned threads,
-                               std::uint64_t conflict_budget, bool share_clauses)
-    : store_(store), pool_(threads == 0 ? 1 : threads) {
-  const unsigned n = threads == 0 ? 1 : threads;
+CheckScheduler::CheckScheduler(sat::CnfStore& store, SchedulerOptions options)
+    : store_(store), options_(options), pool_(options.threads == 0 ? 1 : options.threads) {
+  const unsigned n = options_.threads == 0 ? 1 : options_.threads;
   // A sharing channel needs at least two participants to be anything but
   // overhead (collect filters out a reader's own publishes).
-  if (share_clauses && n > 1) channel_ = std::make_unique<sat::ClauseChannel>();
+  if (options_.share_clauses && n > 1) channel_ = std::make_unique<sat::ClauseChannel>();
   backends_.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
-    backends_.push_back(std::make_unique<sat::InprocBackend>(conflict_budget, channel_.get(), i));
+    auto backend =
+        std::make_unique<sat::InprocBackend>(options_.conflict_budget, channel_.get(), i);
+    backend->set_verdict_cache(options_.verdict_cache);
+    backends_.push_back(std::move(backend));
   }
 }
 
@@ -26,16 +28,176 @@ std::vector<sat::SolverStats> CheckScheduler::worker_stats() const {
   return out;
 }
 
+std::vector<std::uint64_t> CheckScheduler::worker_cache_hits() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(backends_.size());
+  for (const auto& b : backends_) out.push_back(b->cache_hits());
+  return out;
+}
+
+std::vector<std::size_t> CheckScheduler::worker_live_learnts() const {
+  std::vector<std::size_t> out;
+  out.reserve(backends_.size());
+  for (const auto& b : backends_) out.push_back(b->live_learnts());
+  return out;
+}
+
 SweepResult CheckScheduler::sweep(encode::Miter& miter,
                                   const std::vector<encode::Lit>& assumptions,
                                   const std::vector<rtlir::StateVarId>& candidates,
                                   unsigned frame) {
+  return options_.incremental ? sweep_incremental(miter, assumptions, candidates, frame)
+                              : sweep_legacy(miter, assumptions, candidates, frame);
+}
+
+void CheckScheduler::finalize(SweepResult& result, const std::vector<sat::SolverStats>& before,
+                              const std::vector<std::uint64_t>& cache_hits_before,
+                              const std::vector<std::uint64_t>& cache_misses_before, bool unknown,
+                              std::chrono::steady_clock::time_point t0) const {
+  const unsigned W = workers();
+  std::sort(result.differing.begin(), result.differing.end());
+  result.imported_per_worker.resize(W, 0);
+  for (unsigned w = 0; w < W; ++w) {
+    const sat::SolverStats delta = backends_[w]->stats() - before[w];
+    result.conflicts += delta.conflicts;
+    result.decisions += delta.decisions;
+    result.propagations += delta.propagations;
+    result.exported += delta.exported_clauses;
+    result.imported += delta.imported_clauses;
+    result.imported_per_worker[w] = delta.imported_clauses;
+    result.cache_hits += backends_[w]->cache_hits() - cache_hits_before[w];
+    result.cache_misses += backends_[w]->cache_misses() - cache_misses_before[w];
+    result.retained_learnts += backends_[w]->live_learnts();
+  }
+  result.status = unknown ? CheckStatus::Unknown
+                  : result.differing.empty() ? CheckStatus::Holds
+                                             : CheckStatus::Violated;
+  result.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+SweepResult CheckScheduler::sweep_incremental(encode::Miter& miter,
+                                              const std::vector<encode::Lit>& assumptions,
+                                              const std::vector<rtlir::StateVarId>& candidates,
+                                              unsigned frame) {
   SweepResult result;
   const auto t0 = std::chrono::steady_clock::now();
   const unsigned W = workers();
   std::vector<sat::SolverStats> before;
+  std::vector<std::uint64_t> ch_before, cm_before;
   before.reserve(W);
-  for (const auto& b : backends_) before.push_back(b->stats());
+  for (const auto& b : backends_) {
+    before.push_back(b->stats());
+    ch_before.push_back(b->cache_hits());
+    cm_before.push_back(b->cache_misses());
+  }
+
+  // Single batch registration on the calling thread: one CNF emission
+  // regardless of worker count, so the clause stream (and every snapshot
+  // cursor) is identical across thread counts. After the first sweep over
+  // these candidates this is a no-op and the store does not grow at all.
+  miter.register_candidates(candidates, frame);
+  const sat::CnfSnapshot snap = store_.snapshot();
+
+  // Round-robin partition: chunk w owns every W-th candidate. Candidates
+  // arrive in ascending StateVarId order (StateSet::to_vector), so chunks
+  // stay balanced as S shrinks across iterations. Activation and diff
+  // literals are looked up here, on the calling thread — registration above
+  // made both pure map reads — so workers never touch the miter at all.
+  struct Candidate {
+    rtlir::StateVarId sv;
+    encode::Lit activation;
+    encode::Lit diff;
+  };
+  std::vector<std::vector<Candidate>> chunk(W);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const rtlir::StateVarId sv = candidates[i];
+    chunk[i % W].push_back(
+        Candidate{sv, miter.activation_literal(sv, frame), miter.diff_literal(sv, frame)});
+  }
+
+  // One task per worker, one barrier: each worker scans its chunk one
+  // candidate per solve, assuming that candidate's activation literal true
+  // (the query is exactly "diff(sv) satisfiable"). A model retires every
+  // still-unresolved chunk member it proves differing; an UNSAT answer
+  // retires the candidate with a per-candidate refutation core. The chunk
+  // partition only decides which queries get asked — each candidate is
+  // either individually proven differing (its diff literal true in some
+  // model) or individually refuted — so the merged frontier is the semantic
+  // set {sv : diff(sv) satisfiable} regardless of W or model order.
+  std::vector<std::vector<rtlir::StateVarId>> differing(W);
+  std::vector<std::vector<SweepResult::UnsatGroup>> groups(W);
+  std::vector<std::uint64_t> solves(W, 0);
+  std::vector<char> chunk_unknown(W, 0);
+  std::vector<std::function<void()>> tasks;
+  for (unsigned w = 0; w < W; ++w) {
+    if (chunk[w].empty()) continue;
+    tasks.push_back([this, w, &snap, &assumptions, &chunk, &differing, &groups, &solves,
+                     &chunk_unknown] {
+      sat::SolverBackend& backend = *backends_[w];
+      backend.sync(snap);
+      const std::vector<Candidate>& mine = chunk[w];
+      std::vector<char> resolved(mine.size(), 0);
+      for (std::size_t i = 0; i < mine.size(); ++i) {
+        if (resolved[i]) continue;
+        std::vector<encode::Lit> as = assumptions;
+        as.push_back(mine[i].activation);
+        ++solves[w];
+        const sat::SolveStatus status = backend.solve(as);
+        if (status == sat::SolveStatus::Unknown) {
+          chunk_unknown[w] = 1;
+          return;
+        }
+        if (status == sat::SolveStatus::Unsat) {
+          resolved[i] = 1;
+          groups[w].push_back(SweepResult::UnsatGroup{{mine[i].sv}, backend.unsat_core()});
+          continue;
+        }
+        bool harvested = false;
+        for (std::size_t j = 0; j < mine.size(); ++j) {
+          if (resolved[j] || !backend.model_value(mine[j].diff)) continue;
+          resolved[j] = 1;
+          differing[w].push_back(mine[j].sv);
+          harvested = true;
+        }
+        if (!harvested) {
+          // The query assumed diff(mine[i].sv) true; a model showing no
+          // difference means the diff literals and the model disagree.
+          chunk_unknown[w] = 1;
+          return;
+        }
+      }
+    });
+  }
+  pool_.run_all(std::move(tasks));
+
+  // Deterministic merge, ascending worker index, after the barrier.
+  bool unknown = false;
+  for (unsigned w = 0; w < W; ++w) {
+    result.solve_calls += solves[w];
+    if (chunk_unknown[w]) unknown = true;
+    result.differing.insert(result.differing.end(), differing[w].begin(), differing[w].end());
+    for (auto& g : groups[w]) result.unsat_groups.push_back(std::move(g));
+  }
+
+  finalize(result, before, ch_before, cm_before, unknown, t0);
+  return result;
+}
+
+SweepResult CheckScheduler::sweep_legacy(encode::Miter& miter,
+                                         const std::vector<encode::Lit>& assumptions,
+                                         const std::vector<rtlir::StateVarId>& candidates,
+                                         unsigned frame) {
+  SweepResult result;
+  const auto t0 = std::chrono::steady_clock::now();
+  const unsigned W = workers();
+  std::vector<sat::SolverStats> before;
+  std::vector<std::uint64_t> ch_before, cm_before;
+  before.reserve(W);
+  for (const auto& b : backends_) {
+    before.push_back(b->stats());
+    ch_before.push_back(b->cache_hits());
+    cm_before.push_back(b->cache_misses());
+  }
 
   // Round-robin partition: chunk w owns every W-th candidate. Candidates
   // arrive in ascending StateVarId order (StateSet::to_vector), so chunks
@@ -124,21 +286,7 @@ SweepResult CheckScheduler::sweep(encode::Miter& miter,
     }
   }
 
-  std::sort(result.differing.begin(), result.differing.end());
-  result.imported_per_worker.resize(W, 0);
-  for (unsigned w = 0; w < W; ++w) {
-    const sat::SolverStats delta = backends_[w]->stats() - before[w];
-    result.conflicts += delta.conflicts;
-    result.decisions += delta.decisions;
-    result.propagations += delta.propagations;
-    result.exported += delta.exported_clauses;
-    result.imported += delta.imported_clauses;
-    result.imported_per_worker[w] = delta.imported_clauses;
-  }
-  result.status = unknown ? CheckStatus::Unknown
-                  : result.differing.empty() ? CheckStatus::Holds
-                                             : CheckStatus::Violated;
-  result.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  finalize(result, before, ch_before, cm_before, unknown, t0);
   return result;
 }
 

@@ -6,11 +6,30 @@
 // queries share the entire transition-relation CNF and differ only in their
 // assumption sets, so the scheduler keeps W worker solvers hydrated from the
 // shared CnfStore and partitions the candidate variables round-robin into W
-// chunks, one per worker. Each worker then runs the same counterexample-
-// saturation loop the single-solver path runs — solve the disjunction of its
-// chunk's diff literals, harvest every differing variable from the model,
-// shrink, repeat until UNSAT — entirely on its own solver, keeping learned
-// clauses across rounds and iterations.
+// chunks, one per worker. Each worker resolves every candidate in its chunk
+// entirely on its own solver, keeping learned clauses across solves and
+// iterations.
+//
+// Two sweep disciplines:
+//
+//  * Incremental (default): every candidate has a persistent activation
+//    literal registered once in the miter (Miter::register_candidates), and
+//    the worker scans its chunk one candidate per solve, assuming that
+//    candidate's activation literal true — the query is exactly "diff(sv)
+//    satisfiable". A model retires every still-unresolved chunk member it
+//    proves differing (same saturation harvest as before); an UNSAT answer
+//    retires the candidate with a per-candidate assumption core, surfaced in
+//    SweepResult::unsat_groups for frontier pruning. The store never grows
+//    during a sweep, one snapshot serves the whole batch, nothing a worker
+//    learned is ever invalidated, and a shared VerdictCache short-circuits
+//    repeated UNSAT queries outright. Per-candidate cores mention only the
+//    eq assumptions that one refutation needs, so they survive frontier
+//    shrinking far better than a whole-chunk disjunction core would.
+//
+//  * Legacy (SchedulerOptions::incremental = false): each round encodes a
+//    fresh activation literal guarding the chunk's diff disjunction, solves,
+//    harvests, shrinks, and retires the literal with a root unit afterwards.
+//    Kept as the re-encode baseline for bench_sweep_incremental.
 //
 // Determinism: the set a chunk reports is {sv in chunk : diff(sv) satisfiable},
 // which is a purely semantic property — independent of which models the
@@ -24,6 +43,7 @@
 // calling thread strictly after the batch barrier.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -49,21 +69,54 @@ struct SweepResult {
   std::uint64_t imported = 0;                   // summed over workers
   std::vector<std::uint64_t> imported_per_worker;  // one entry per worker
   std::size_t solve_calls = 0;
-  unsigned rounds = 0;
+  unsigned rounds = 0;  // barrier rounds (legacy path; the incremental batch has one barrier)
+
+  // Refutations (incremental path only): one entry per candidate proven
+  // unable to differ, carrying the assumption core of that refutation. The
+  // upec layer mines these for UNSAT-core frontier pruning (see
+  // upec/incremental.h).
+  struct UnsatGroup {
+    std::vector<rtlir::StateVarId> enabled;  // candidates enabled in the refuted query
+    std::vector<sat::Lit> core;              // refuting subset of the assumptions
+  };
+  std::vector<UnsatGroup> unsat_groups;
+
+  // Verdict-cache traffic during this sweep (zero with the cache off) and
+  // the workers' combined live learnt-clause databases at sweep end — the
+  // clauses the incremental path retains across rounds and iterations.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::size_t retained_learnts = 0;
+};
+
+struct SchedulerOptions {
+  unsigned threads = 1;
+  std::uint64_t conflict_budget = 0;  // per solve call; 0 = unlimited
+  // Workers exchange low-LBD learnt clauses through a ClauseChannel (PR 3).
+  bool share_clauses = true;
+  // Persistent-activation sweeps: candidates are registered once in the
+  // miter and each solve activates one candidate purely through assumptions,
+  // so the store never grows mid-sweep and workers keep their learnt
+  // databases valid across solves *and* iterations. Off = legacy per-round
+  // activation literals with root-unit retirement (kept for the A/B
+  // benchmark).
+  bool incremental = true;
+  // Shared verdict cache consulted by every worker before solving (nullptr
+  // disables). Must outlive the scheduler.
+  sat::VerdictCache* verdict_cache = nullptr;
 };
 
 class CheckScheduler {
 public:
-  // `threads` worker solvers, each with the given per-solve conflict budget.
-  // With `share_clauses` (and more than one worker), the workers exchange
+  // `options.threads` worker solvers, each with the given per-solve conflict
+  // budget. With sharing (and more than one worker), the workers exchange
   // low-LBD learnt clauses through a ClauseChannel: exported at learn time,
   // imported only at each worker's restart boundaries. Sharing only adds
   // clauses already implied by the shared store, so it changes how fast a
   // chunk's verdict is reached, never which verdict — the determinism
   // contract below is unaffected (pinned by test_determinism with sharing on
   // and off).
-  CheckScheduler(sat::CnfStore& store, unsigned threads, std::uint64_t conflict_budget = 0,
-                 bool share_clauses = true);
+  CheckScheduler(sat::CnfStore& store, SchedulerOptions options);
 
   unsigned workers() const { return static_cast<unsigned>(backends_.size()); }
 
@@ -78,9 +131,22 @@ public:
 
   // Cumulative per-worker statistics (for report breakdowns).
   std::vector<sat::SolverStats> worker_stats() const;
+  std::vector<std::uint64_t> worker_cache_hits() const;
+  std::vector<std::size_t> worker_live_learnts() const;
 
 private:
+  SweepResult sweep_incremental(encode::Miter& miter,
+                                const std::vector<encode::Lit>& assumptions,
+                                const std::vector<rtlir::StateVarId>& candidates, unsigned frame);
+  SweepResult sweep_legacy(encode::Miter& miter, const std::vector<encode::Lit>& assumptions,
+                           const std::vector<rtlir::StateVarId>& candidates, unsigned frame);
+  void finalize(SweepResult& result, const std::vector<sat::SolverStats>& before,
+                const std::vector<std::uint64_t>& cache_hits_before,
+                const std::vector<std::uint64_t>& cache_misses_before, bool unknown,
+                std::chrono::steady_clock::time_point t0) const;
+
   sat::CnfStore& store_;
+  SchedulerOptions options_;
   util::ThreadPool pool_;
   std::unique_ptr<sat::ClauseChannel> channel_;  // non-null iff sharing enabled
   std::vector<std::unique_ptr<sat::SolverBackend>> backends_;

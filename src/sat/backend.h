@@ -13,6 +13,7 @@
 #include "sat/share.h"
 #include "sat/snapshot.h"
 #include "sat/solver.h"
+#include "sat/verdict_cache.h"
 
 namespace upec::sat {
 
@@ -28,7 +29,20 @@ public:
   // a resource budget was exhausted.
   virtual SolveStatus solve(const std::vector<Lit>& assumptions) = 0;
 
+  // After solve() returned Unsat: the subset of the assumptions responsible
+  // (see Solver::conflict_assumptions). Empty when the formula itself is
+  // UNSAT. On a verdict-cache hit this is the stored core of the original
+  // refutation, so callers never observe a difference between a cached and a
+  // fresh UNSAT answer.
+  virtual const std::vector<Lit>& unsat_core() const = 0;
+
   virtual const SolverStats& stats() const = 0;
+
+  // Verdict-cache traffic and learnt-database retention, for the per-worker
+  // report breakdowns. Backends without a cache report zeros.
+  virtual std::uint64_t cache_hits() const { return 0; }
+  virtual std::uint64_t cache_misses() const { return 0; }
+  virtual std::size_t live_learnts() const { return 0; }
 };
 
 // In-process backend: owns a from-scratch CDCL solver kept in sync with the
@@ -60,17 +74,37 @@ public:
 
   void sync(const CnfSnapshot& snap) override { ok_ = snap.load_into(solver_, cursor_) && ok_; }
 
+  // Consult `cache` (shared with other backends and the main check path;
+  // may be nullptr) before every solve. Must outlive the backend.
+  void set_verdict_cache(VerdictCache* cache) { cache_ = cache; }
+
   SolveStatus solve(const std::vector<Lit>& assumptions) override {
-    if (!ok_) return SolveStatus::Unsat;
+    core_.clear();
+    if (!ok_) return SolveStatus::Unsat; // formula UNSAT outright: empty core
+    if (cache_ != nullptr) {
+      if (cache_->lookup_unsat(cursor_, assumptions, &core_)) {
+        ++cache_hits_;
+        return SolveStatus::Unsat;
+      }
+      ++cache_misses_;
+    }
     try {
-      return solver_.solve(assumptions) ? SolveStatus::Sat : SolveStatus::Unsat;
+      if (solver_.solve(assumptions)) return SolveStatus::Sat;
+      core_ = solver_.conflict_assumptions();
+      if (cache_ != nullptr) cache_->insert_unsat(cursor_, assumptions, core_);
+      return SolveStatus::Unsat;
     } catch (const SolverInterrupted&) {
       return SolveStatus::Unknown;
     }
   }
 
+  const std::vector<Lit>& unsat_core() const override { return core_; }
+
   bool model_value(Lit l) const override { return solver_.model_value(l); }
   const SolverStats& stats() const override { return solver_.stats(); }
+  std::uint64_t cache_hits() const override { return cache_hits_; }
+  std::uint64_t cache_misses() const override { return cache_misses_; }
+  std::size_t live_learnts() const override { return solver_.num_learnts(); }
 
   Solver& solver() { return solver_; }
   const Solver& solver() const { return solver_; }
@@ -81,6 +115,10 @@ private:
   ClauseChannel* channel_ = nullptr;
   unsigned worker_id_ = 0;
   std::size_t channel_cursor_ = 0;
+  VerdictCache* cache_ = nullptr;
+  std::vector<Lit> core_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
   bool ok_ = true;
 };
 

@@ -300,10 +300,22 @@ bool Solver::lit_redundant(Lit p, std::uint32_t abstract_levels) {
   return true;
 }
 
+// Final-conflict analysis: called when placing assumption ~p found it already
+// falsified. Produces in conflict_ the core — the subset of the assumption
+// literals that jointly force the contradiction. The refuted assumption (~p)
+// is in the core by construction; every other trail literal that contributed
+// is either a genuine assumption decision (reason == kNoClause, recorded
+// verbatim) or was *implied*, in which case its reason clause is expanded and
+// the walk recurses toward the decisions that fed it. The seen_ flags make
+// the recursion a single backwards trail scan — each variable's reason is
+// walked at most once — and the result is deduplicated and sorted so callers
+// (verdict cache, core pruning) can use it as a canonical set.
 void Solver::analyze_final(Lit p) {
   conflict_.clear();
-  conflict_.push_back(p);
-  if (decision_level() == 0) return;
+  conflict_.push_back(~p);
+  if (decision_level() == 0) {
+    return;
+  }
   seen_[static_cast<std::size_t>(p.var())] = 1;
   for (std::size_t i = trail_.size(); i-- > static_cast<std::size_t>(trail_lim_[0]);) {
     const Var v = trail_[i].var();
@@ -311,7 +323,9 @@ void Solver::analyze_final(Lit p) {
     const ClauseRef reason = var_info_[static_cast<std::size_t>(v)].reason;
     if (reason == kNoClause) {
       assert(var_info_[static_cast<std::size_t>(v)].level > 0);
-      conflict_.push_back(~trail_[i]);
+      // Decisions above the root are exactly the assumption placements, and
+      // the trail holds the assumption literal as passed by the caller.
+      conflict_.push_back(trail_[i]);
     } else {
       const ClauseData& cd = clauses_[reason];
       const Lit* lits = clause_lits(reason);
@@ -324,6 +338,8 @@ void Solver::analyze_final(Lit p) {
     seen_[static_cast<std::size_t>(v)] = 0;
   }
   seen_[static_cast<std::size_t>(p.var())] = 0;
+  std::sort(conflict_.begin(), conflict_.end());
+  conflict_.erase(std::unique(conflict_.begin(), conflict_.end()), conflict_.end());
 }
 
 void Solver::cancel_until(int level) {

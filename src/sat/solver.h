@@ -96,8 +96,15 @@ public:
   }
   bool model_value(Lit l) const override { return model_value(l.var()) != l.sign(); }
 
-  // After solve() returned false: subset of the assumptions responsible for
-  // the UNSAT answer (the "final conflict"), usable as a crude core.
+  // After solve() returned false: a deduplicated, sorted subset of the
+  // assumption literals responsible for the UNSAT answer (the "final
+  // conflict" core). Guarantees:
+  //   * every returned literal was passed in `assumptions` verbatim,
+  //   * re-solving under the returned subset alone is again UNSAT,
+  //   * assumptions that were merely *implied* by others are traced through
+  //     their reason clauses back to genuine assumption decisions (each
+  //     reason is walked at most once), so they never appear in the core.
+  // Empty when the formula is UNSAT independent of the assumptions.
   const std::vector<Lit>& conflict_assumptions() const { return conflict_; }
 
   const SolverStats& stats() const { return stats_; }
@@ -148,6 +155,9 @@ public:
   // Learnt-DB reduction threshold (default 8192, grows 10% per reduction).
   void set_max_learnts(std::uint64_t n) { max_learnts_ = n; }
   std::size_t arena_size() const { return lit_arena_.size(); }
+  // Live learnt clauses currently attached — the database the incremental
+  // sweeps retain across rounds and iterations (reported by the verifier).
+  std::size_t num_learnts() const { return learnts_.size(); }
   // Literals owned by deleted clauses still occupying the arena. Bounded by
   // garbage collection in reduce_db: never exceeds 1/4 of the arena.
   std::size_t arena_garbage() const { return garbage_lits_; }

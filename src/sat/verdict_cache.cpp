@@ -1,0 +1,80 @@
+#include "sat/verdict_cache.h"
+
+#include <algorithm>
+
+namespace upec::sat {
+
+std::vector<Lit> VerdictCache::canonical(const std::vector<Lit>& assumptions) {
+  std::vector<Lit> key = assumptions;
+  std::sort(key.begin(), key.end());
+  key.erase(std::unique(key.begin(), key.end()), key.end());
+  return key;
+}
+
+std::uint64_t VerdictCache::hash_key(const CnfSnapshot::Cursor& cursor,
+                                     const std::vector<Lit>& key) {
+  // FNV-1a over (cursor, literal indexes).
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(cursor.vars));
+  mix(static_cast<std::uint64_t>(cursor.clauses));
+  for (Lit l : key) mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(l.index())));
+  return h;
+}
+
+bool VerdictCache::lookup_unsat(const CnfSnapshot::Cursor& cursor,
+                                const std::vector<Lit>& assumptions,
+                                std::vector<Lit>* core_out) {
+  const std::vector<Lit> key = canonical(assumptions);
+  const std::uint64_t h = hash_key(cursor, key);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(h);
+  if (it != map_.end()) {
+    for (const Entry& e : it->second) {
+      if (e.cursor.vars == cursor.vars && e.cursor.clauses == cursor.clauses && e.key == key) {
+        ++hits_;
+        if (core_out != nullptr) *core_out = e.core;
+        return true;
+      }
+    }
+  }
+  ++misses_;
+  return false;
+}
+
+void VerdictCache::insert_unsat(const CnfSnapshot::Cursor& cursor,
+                                const std::vector<Lit>& assumptions,
+                                const std::vector<Lit>& core) {
+  std::vector<Lit> key = canonical(assumptions);
+  const std::uint64_t h = hash_key(cursor, key);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (size_ >= max_entries_) return;
+  std::vector<Entry>& chain = map_[h];
+  for (const Entry& e : chain) {
+    if (e.cursor.vars == cursor.vars && e.cursor.clauses == cursor.clauses && e.key == key) {
+      return; // duplicate (two workers raced on the same query)
+    }
+  }
+  chain.push_back(Entry{cursor, std::move(key), core});
+  ++size_;
+}
+
+std::uint64_t VerdictCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t VerdictCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::size_t VerdictCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+} // namespace upec::sat

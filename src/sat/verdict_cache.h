@@ -1,0 +1,87 @@
+// VerdictCache: memoizes UNSAT verdicts of assumption-based queries against
+// a CnfStore prefix.
+//
+// A query is identified by (store cursor, canonicalized assumption set): the
+// cursor pins exactly which clause prefix the answering solver had consumed,
+// and the assumptions are sorted and deduplicated so permuted or repeated
+// assumption vectors hit the same entry. Entries additionally carry the
+// final-conflict core (Solver::conflict_assumptions), so a cache hit can
+// feed UNSAT-core frontier pruning exactly like a fresh solve would.
+//
+// Only UNSAT verdicts are cached, deliberately:
+//   * An UNSAT answer is a pure semantic fact about (formula prefix,
+//     assumption set) — any solver hydrated from the same store may reuse it,
+//     which is why one cache is safely shared between the main solver and
+//     every scheduler worker.
+//   * A SAT answer's value to the sweep loops is its *model* (the
+//     counterexample harvest reads it back variable by variable); replaying
+//     a verdict without the model would be useless, and storing full models
+//     per entry is memory the hot path never amortizes.
+//   * Unknown (budget exhaustion) is not a verdict.
+//
+// The key includes the cursor verbatim: any append to the store produces a
+// different key, i.e. entries from an older prefix are never consulted once
+// the formula grew. (Appends are monotone, so old UNSAT entries would remain
+// *sound* — the strict-cursor policy is an invalidation contract, not a
+// soundness requirement, and keeps the cache honest if a future store ever
+// learns to retract clauses.)
+//
+// Thread-safety: all operations serialize on an internal mutex; scheduler
+// workers probe concurrently during sweep rounds.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "sat/snapshot.h"
+#include "sat/types.h"
+
+namespace upec::sat {
+
+class VerdictCache {
+public:
+  VerdictCache() = default;
+  VerdictCache(const VerdictCache&) = delete;
+  VerdictCache& operator=(const VerdictCache&) = delete;
+
+  // True iff an UNSAT verdict is cached for (cursor, assumptions); fills
+  // `core_out` (when non-null) with the stored final-conflict core. Counts a
+  // hit or a miss.
+  bool lookup_unsat(const CnfSnapshot::Cursor& cursor, const std::vector<Lit>& assumptions,
+                    std::vector<Lit>* core_out);
+
+  // Records an UNSAT verdict with its core. Idempotent for duplicate keys;
+  // silently drops entries once the capacity cap is reached (the cap only
+  // bounds memory — a full cache degrades to misses, never to wrong answers).
+  void insert_unsat(const CnfSnapshot::Cursor& cursor, const std::vector<Lit>& assumptions,
+                    const std::vector<Lit>& core);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::size_t entries() const;
+
+  // Capacity cap, overridable for tests.
+  void set_max_entries(std::size_t n) { max_entries_ = n; }
+
+private:
+  struct Entry {
+    CnfSnapshot::Cursor cursor;
+    std::vector<Lit> key;  // canonical assumption set
+    std::vector<Lit> core;
+  };
+
+  static std::vector<Lit> canonical(const std::vector<Lit>& assumptions);
+  static std::uint64_t hash_key(const CnfSnapshot::Cursor& cursor, const std::vector<Lit>& key);
+
+  mutable std::mutex mu_;
+  // hash(cursor, canonical assumptions) -> entries (collision chain).
+  std::unordered_map<std::uint64_t, std::vector<Entry>> map_;
+  std::size_t max_entries_ = 1u << 16;
+  std::size_t size_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+} // namespace upec::sat

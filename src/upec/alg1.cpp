@@ -17,10 +17,19 @@ const char* verdict_name(Verdict v) {
 void collect_solver_usage(const UpecContext& ctx, SolverUsage& usage) {
   usage.total = ctx.solver.stats();
   usage.per_worker.clear();
+  usage.per_worker_cache_hits.clear();
+  usage.retained_learnts = ctx.solver.num_learnts();
   if (ctx.scheduler) {
     usage.per_worker = ctx.scheduler->worker_stats();
     for (const sat::SolverStats& w : usage.per_worker) usage.total += w;
+    usage.per_worker_cache_hits = ctx.scheduler->worker_cache_hits();
+    for (std::size_t l : ctx.scheduler->worker_live_learnts()) usage.retained_learnts += l;
   }
+  // The cache is shared, so its global counters already cover the main
+  // solver's and every worker's lookups.
+  usage.cache_hits = ctx.verdict_cache.hits();
+  usage.cache_misses = ctx.verdict_cache.misses();
+  usage.pruned_candidates = ctx.pruner.total_pruned();
 }
 
 Alg1Result run_alg1(UpecContext& ctx, const Alg1Options& options) {
@@ -50,6 +59,9 @@ Alg1Result run_alg1(UpecContext& ctx, const Alg1Options& options) {
     log.cex_size = out.s_cex.size();
     log.pers_hits = out.pers_hits.size();
     log.removed = out.s_cex;
+    log.pruned = out.pruned;
+    log.cache_hits = out.cache_hits;
+    log.cache_misses = out.cache_misses;
     result.total_seconds += out.seconds;
 
     if (!out.pers_hits.empty()) {

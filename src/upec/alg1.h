@@ -35,6 +35,12 @@ struct IterationLog {
   std::uint64_t conflicts = 0;
   ipc::CheckStatus status = ipc::CheckStatus::Unknown;
   std::vector<rtlir::StateVarId> removed;
+  // Incremental-sweep work avoidance this iteration (zero in legacy mode):
+  // candidates skipped because a recorded UNSAT core still refutes them, and
+  // verdict-cache traffic of the iteration's solves.
+  std::size_t pruned = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
 };
 
 // Cumulative solver statistics behind a verification run: the context's main
@@ -43,6 +49,16 @@ struct IterationLog {
 struct SolverUsage {
   sat::SolverStats total;
   std::vector<sat::SolverStats> per_worker;  // empty when no scheduler ran
+  // Incremental-sweep counters (all zero with the features off): shared
+  // verdict-cache traffic (main solver + workers), candidates pruned via
+  // recorded UNSAT cores, and the learnt clauses still live in the solvers
+  // at collection time — the databases the incremental mode carries across
+  // rounds and iterations.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t pruned_candidates = 0;
+  std::size_t retained_learnts = 0;
+  std::vector<std::uint64_t> per_worker_cache_hits;  // parallel to per_worker
 };
 
 struct Alg1Result {

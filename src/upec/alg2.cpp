@@ -39,6 +39,9 @@ Alg2Result run_alg2(UpecContext& ctx, const Alg2Options& options) {
     step.iteration.cex_size = out.s_cex.size();
     step.iteration.pers_hits = out.pers_hits.size();
     step.iteration.removed = out.s_cex;
+    step.iteration.pruned = out.pruned;
+    step.iteration.cache_hits = out.cache_hits;
+    step.iteration.cache_misses = out.cache_misses;
     result.total_seconds += out.seconds;
 
     if (!out.pers_hits.empty()) {

@@ -16,15 +16,21 @@ UpecContext::UpecContext(const soc::Soc& s, VerifyOptions opts)
       pers(svt, s),
       engine(solver),
       scheduler(options.threads > 1
-                    ? std::make_unique<ipc::CheckScheduler>(store, options.threads,
-                                                            options.conflict_budget,
-                                                            options.share_clauses)
+                    ? std::make_unique<ipc::CheckScheduler>(
+                          store, ipc::SchedulerOptions{
+                                     .threads = options.threads,
+                                     .conflict_budget = options.conflict_budget,
+                                     .share_clauses = options.share_clauses,
+                                     .incremental = options.incremental_sweeps,
+                                     .verdict_cache =
+                                         options.verdict_cache ? &verdict_cache : nullptr})
                     : nullptr),
       s_pers(StateSet::none(svt)) {
   miter.set_model_source(&solver);
   miter.set_exempt(
       [this](encode::Miter& m, rtlir::StateVarId sv) { return macros.exempt_for(m, sv); });
   solver.set_conflict_budget(options.conflict_budget);
+  if (options.verdict_cache) engine.set_verdict_cache(&verdict_cache, &store);
 
   StateSet base = pers.s_pers();
   for (rtlir::StateVarId sv : base.to_vector()) {

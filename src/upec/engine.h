@@ -13,6 +13,7 @@
 #include "soc/pulpissimo.h"
 #include "upec/alg1.h"
 #include "upec/alg2.h"
+#include "upec/incremental.h"
 #include "upec/macros.h"
 #include "upec/persistence.h"
 
@@ -39,6 +40,20 @@ struct VerifyOptions {
   // Optional restriction of S_pers (e.g. "only the HWPE and public RAM" to
   // steer Alg. 1 toward a specific attack scenario in the case study).
   std::function<bool(rtlir::StateVarId)> s_pers_filter;
+  // Cross-iteration incremental sweeps: candidates get persistent activation
+  // literals encoded once (Miter::register_candidates) and every sweep round
+  // selects its subset purely through assumptions, so nothing is re-encoded
+  // per round and solvers keep their learnt databases valid across rounds
+  // and iterations; final refutation cores additionally prune candidates
+  // from later frontiers (upec/incremental.h). Verdicts and frontiers are
+  // bit-identical either way (test_determinism / test_incremental); off is
+  // the re-encode baseline for bench_sweep_incremental.
+  bool incremental_sweeps = true;
+  // Cache UNSAT verdicts (with their assumption cores) keyed on the store
+  // cursor and canonicalized assumption set, shared between the main solver
+  // and every scheduler worker (sat/verdict_cache.h). Only repeated queries
+  // against an unchanged formula hit, so this is correctness-neutral.
+  bool verdict_cache = true;
 };
 
 class UpecContext {
@@ -62,6 +77,12 @@ public:
   SsMacros macros;
   PersistenceClassifier pers;
   ipc::Engine engine;
+  // Shared UNSAT-verdict cache (main solver + workers) and the UNSAT-core
+  // frontier pruner. Both exist unconditionally — the options toggles gate
+  // their *use* — and must be declared before `scheduler`, whose workers
+  // capture a pointer to the cache at construction.
+  sat::VerdictCache verdict_cache;
+  FrontierPruner pruner;
   // Non-null iff options.threads > 1.
   std::unique_ptr<ipc::CheckScheduler> scheduler;
   StateSet s_pers; // after filtering

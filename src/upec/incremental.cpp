@@ -1,0 +1,46 @@
+#include "upec/incremental.h"
+
+namespace upec {
+
+void FrontierPruner::record(unsigned frame, const std::vector<rtlir::StateVarId>& enabled,
+                            Justification just) {
+  auto shared = std::make_shared<const Justification>(std::move(just));
+  for (rtlir::StateVarId sv : enabled) just_[key(frame, sv)] = shared;
+}
+
+void FrontierPruner::filter(unsigned frame, const std::vector<rtlir::StateVarId>& members,
+                            const std::unordered_set<rtlir::StateVarId>& eq_assumed,
+                            const std::unordered_set<std::int32_t>& assumption_lits,
+                            std::vector<rtlir::StateVarId>& eligible,
+                            std::vector<rtlir::StateVarId>& pruned) {
+  eligible.clear();
+  pruned.clear();
+  for (rtlir::StateVarId sv : members) {
+    const auto it = just_.find(key(frame, sv));
+    bool prunable = it != just_.end();
+    if (prunable) {
+      for (rtlir::StateVarId dep : it->second->eq_svs) {
+        if (eq_assumed.find(dep) == eq_assumed.end()) {
+          prunable = false;
+          break;
+        }
+      }
+    }
+    if (prunable) {
+      for (sat::Lit l : it->second->other_lits) {
+        if (assumption_lits.find(l.index()) == assumption_lits.end()) {
+          prunable = false;
+          break;
+        }
+      }
+    }
+    if (prunable) {
+      pruned.push_back(sv);
+    } else {
+      eligible.push_back(sv);
+    }
+  }
+  total_pruned_ += pruned.size();
+}
+
+} // namespace upec

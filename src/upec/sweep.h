@@ -16,6 +16,7 @@
 
 #include "ipc/cex.h"
 #include "ipc/engine.h"
+#include "ipc/scheduler.h"
 #include "upec/state_sets.h"
 
 namespace upec {
@@ -31,6 +32,15 @@ struct SweepOutcome {
   std::vector<rtlir::StateVarId> pers_hits;  // sorted; s_cex ∩ S_pers
   double seconds = 0.0;
   std::uint64_t conflicts = 0;
+  // Incremental-sweep bookkeeping (all zero/empty on the legacy path):
+  // candidates skipped up front because a recorded UNSAT core still proves
+  // them unable to differ, verdict-cache traffic during this sweep, and the
+  // final chunk refutations (already mined into the context's pruner by
+  // sweep_frame; exposed for tests).
+  std::size_t pruned = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::vector<ipc::SweepResult::UnsatGroup> unsat_groups;
 };
 
 SweepOutcome sweep_frame(UpecContext& ctx, const std::string& property_name,

@@ -218,14 +218,18 @@ TEST(ClauseSharing, SharingOffPublishesNothing) {
 }
 
 TEST(ClauseSharing, ActivationLiteralsRetireAndStoreGrowthIsBounded) {
-  // Repeated sweeps over the same candidates must only grow the store by the
-  // fresh activation literals of each round — the diff encoding is reused —
-  // and every activation literal must be pinned false (retired) once its
-  // round is over. An unpinned act var would read true under the solver's
-  // positive default phase, so reading false is the retirement signal.
+  // Legacy (re-encoding) sweep mode: repeated sweeps over the same candidates
+  // must only grow the store by the fresh activation literals of each round —
+  // the diff encoding is reused — and every activation literal must be pinned
+  // false (retired) once its round is over. An unpinned act var would read
+  // true under the solver's positive default phase, so reading false is the
+  // retirement signal. (The incremental mode grows the store not at all after
+  // the first sweep — pinned by test_incremental.)
   const soc::Soc soc = tiny_soc();
   VerifyOptions options;
   options.threads = 2;
+  options.incremental_sweeps = false;
+  options.verdict_cache = false;
   UpecContext ctx(soc, options);
   ASSERT_NE(ctx.scheduler, nullptr);
 

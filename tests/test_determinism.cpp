@@ -125,6 +125,43 @@ TEST(Determinism, VulnerableClauseSharingToggleIdentical) {
   }
 }
 
+VerifyOptions with_incremental(VerifyOptions options, unsigned threads, bool incremental) {
+  options.threads = threads;
+  options.incremental_sweeps = incremental;
+  options.verdict_cache = incremental;
+  return options;
+}
+
+TEST(Determinism, SecureIncrementalToggleIdenticalAcrossThreadCounts) {
+  // Persistent-activation sweeps, the verdict cache and core pruning only
+  // remove re-proving work; the semantic frontiers cannot react to either
+  // toggle or to the thread count. Baseline is the legacy re-encode path.
+  const soc::Soc soc = small_soc();
+  const Alg1Result seq = verify_2cycle(soc, with_incremental(countermeasure_options(), 1, false));
+  ASSERT_EQ(seq.verdict, Verdict::Secure);
+  for (unsigned threads : {1u, 3u, 4u}) {
+    const Alg1Result par =
+        verify_2cycle(soc, with_incremental(countermeasure_options(), threads, true));
+    SCOPED_TRACE("threads=" + std::to_string(threads) + " incremental=on");
+    expect_same_alg1(seq, par);
+  }
+}
+
+TEST(Determinism, VulnerableIncrementalToggleIdentical) {
+  // Same toggle on the vulnerable baseline: SAT-side counterexample
+  // harvesting must not react to persistent activation or cached UNSATs.
+  const soc::Soc soc = small_soc();
+  Alg1Options opts;
+  opts.extract_waveform = false;
+  const Alg1Result seq = verify_2cycle(soc, with_incremental({}, 1, false), opts);
+  ASSERT_EQ(seq.verdict, Verdict::Vulnerable);
+  for (unsigned threads : {1u, 4u}) {
+    const Alg1Result par = verify_2cycle(soc, with_incremental({}, threads, true), opts);
+    SCOPED_TRACE("threads=" + std::to_string(threads) + " incremental=on");
+    expect_same_alg1(seq, par);
+  }
+}
+
 TEST(Determinism, VulnerableAlg2IdenticalAcrossThreadCounts) {
   const soc::Soc soc = small_soc();
   const Alg2Result seq = verify_unrolled(soc, with_threads(hwpe_scenario_options(soc), 1));

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <optional>
 
 #include "util/rng.h"
@@ -114,6 +115,66 @@ TEST(Sat, AssumptionsSelectBranch) {
   }
   // Solver remains usable.
   EXPECT_TRUE(s.solve());
+}
+
+TEST(Sat, ConflictAssumptionsAreSubsetAndResolveUnsat) {
+  // Core contract: conflict_assumptions() returns a sorted, deduplicated
+  // subset of the passed assumption literals, and re-solving with only the
+  // core assumed is still UNSAT.
+  Solver s;
+  const Var a = s.new_var(), b = s.new_var(), c = s.new_var(), d = s.new_var();
+  s.add_clause(neg(a), pos(b));  // a -> b
+  s.add_clause(neg(b), neg(c));  // b -> ~c
+  (void)d;
+
+  const std::vector<Lit> assumptions = {pos(a), pos(c), pos(d)};
+  ASSERT_FALSE(s.solve(assumptions));
+  const std::vector<Lit> core = s.conflict_assumptions();
+  ASSERT_FALSE(core.empty());
+  EXPECT_TRUE(std::is_sorted(core.begin(), core.end()));
+  EXPECT_EQ(std::adjacent_find(core.begin(), core.end()), core.end());
+  for (Lit l : core) {
+    EXPECT_NE(std::find(assumptions.begin(), assumptions.end(), l), assumptions.end())
+        << "core literal not among the assumptions";
+  }
+  // d is irrelevant to the conflict; the minimized core must not include it.
+  EXPECT_EQ(std::find(core.begin(), core.end(), pos(d)), core.end());
+  EXPECT_FALSE(s.solve(core));
+  EXPECT_TRUE(s.solve());  // solver stays usable
+}
+
+TEST(Sat, ConflictAssumptionsTraceImpliedAssumptions) {
+  // The conflicting assumption c is refuted through b, which is *implied* by
+  // assumption a — the core must walk the reason chain back to a, reporting
+  // exactly {a, c} (as assumption literals, not negations).
+  Solver s;
+  const Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+  s.add_clause(neg(a), pos(b));  // a -> b
+  s.add_clause(neg(b), neg(c));  // b -> ~c
+  ASSERT_FALSE(s.solve({pos(a), pos(c)}));
+  const std::vector<Lit> expected = {pos(a), pos(c)};
+  EXPECT_EQ(s.conflict_assumptions(), expected);
+}
+
+TEST(Sat, ConflictAssumptionsDeduplicated) {
+  Solver s;
+  const Var a = s.new_var(), b = s.new_var();
+  s.add_clause(pos(a), pos(b));
+  ASSERT_FALSE(s.solve({neg(a), neg(b), neg(a), neg(b), neg(a)}));
+  const std::vector<Lit> core = s.conflict_assumptions();
+  EXPECT_EQ(std::adjacent_find(core.begin(), core.end()), core.end());
+  EXPECT_LE(core.size(), 2u);
+  EXPECT_FALSE(s.solve(core));
+}
+
+TEST(Sat, ConflictAssumptionsEmptyOnFormulaUnsat) {
+  // When the formula is UNSAT regardless of assumptions, the core is empty.
+  Solver s;
+  const Var a = s.new_var(), b = s.new_var();
+  s.add_clause(pos(a));
+  s.add_clause(neg(a));
+  ASSERT_FALSE(s.solve({pos(b)}));
+  EXPECT_TRUE(s.conflict_assumptions().empty());
 }
 
 TEST(Sat, AssumptionsDoNotPersist) {
