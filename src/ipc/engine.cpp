@@ -48,8 +48,9 @@ CheckResult Engine::check_assumptions(const std::vector<encode::Lit>& assumption
   bool interrupted = false;
   try {
     sat_result = solver_.solve(assumptions);
-  } catch (const sat::SolverInterrupted&) {
+  } catch (const sat::SolverInterrupted& e) {
     interrupted = true;
+    result.timed_out = e.reason == sat::SolverInterrupted::Reason::Deadline;
   }
 
   const auto t1 = std::chrono::steady_clock::now();

@@ -27,6 +27,10 @@ struct CheckResult {
   std::uint64_t conflicts = 0;
   std::uint64_t decisions = 0;
   std::uint64_t propagations = 0;
+  // Unknown was caused by the wall-clock deadline (VerifyOptions::deadline_ms)
+  // rather than a conflict budget — the distinction reports surface so a
+  // budget-starved run and a time-starved run are tellable apart.
+  bool timed_out = false;
 };
 
 // Creates an activation literal `act` with clause act -> OR(disjuncts):

@@ -4,19 +4,53 @@
 #include <chrono>
 #include <functional>
 
+#include "sat/portfolio.h"
+
 namespace upec::ipc {
 
 CheckScheduler::CheckScheduler(sat::CnfStore& store, SchedulerOptions options)
-    : store_(store), options_(options), pool_(options.threads == 0 ? 1 : options.threads) {
+    : store_(store), options_(std::move(options)), pool_(options_.threads == 0 ? 1 : options_.threads) {
   const unsigned n = options_.threads == 0 ? 1 : options_.threads;
+  const unsigned members = options_.portfolio == 0 ? 1 : options_.portfolio;
+  const bool external = !options_.external_argv.empty();
+  // Channel ids must be globally unique across every solver on the channel,
+  // so worker w's participants live at stride * w (the plain 1-member,
+  // no-external case degenerates to id == w, exactly the pre-portfolio ids).
+  const unsigned stride = members + (external ? 1u : 0u);
   // A sharing channel needs at least two participants to be anything but
   // overhead (collect filters out a reader's own publishes).
-  if (options_.share_clauses && n > 1) channel_ = std::make_unique<sat::ClauseChannel>();
+  if (options_.share_clauses && n * stride > 1) channel_ = std::make_unique<sat::ClauseChannel>();
+
+  sat::PipeOptions pipe;
+  pipe.argv = options_.external_argv;
+  pipe.solve_deadline_ms = options_.external_deadline_ms;
+
   backends_.reserve(n);
-  for (unsigned i = 0; i < n; ++i) {
-    auto backend =
-        std::make_unique<sat::InprocBackend>(options_.conflict_budget, channel_.get(), i);
-    backend->set_verdict_cache(options_.verdict_cache);
+  for (unsigned w = 0; w < n; ++w) {
+    std::unique_ptr<sat::SolverBackend> backend;
+    if (members > 1) {
+      sat::PortfolioOptions po;
+      po.members = members;
+      po.conflict_budget = options_.conflict_budget;
+      po.seed = options_.portfolio_seed + w;  // distinct diversity stream per worker
+      po.external = external;
+      po.pipe = pipe;
+      po.supervise = options_.supervise;
+      auto p = std::make_unique<sat::PortfolioBackend>(po, channel_.get(), w * stride);
+      p->set_verdict_cache(options_.verdict_cache);
+      backend = std::move(p);
+    } else if (external) {
+      auto s = std::make_unique<sat::SupervisedBackend>(pipe, options_.supervise,
+                                                        options_.conflict_budget, channel_.get(),
+                                                        w * stride);
+      s->set_verdict_cache(options_.verdict_cache);
+      backend = std::move(s);
+    } else {
+      auto b = std::make_unique<sat::InprocBackend>(options_.conflict_budget, channel_.get(), w);
+      b->set_verdict_cache(options_.verdict_cache);
+      backend = std::move(b);
+    }
+    if (options_.deadline) backend->set_deadline(*options_.deadline);
     backends_.push_back(std::move(backend));
   }
 }
@@ -39,6 +73,13 @@ std::vector<std::size_t> CheckScheduler::worker_live_learnts() const {
   std::vector<std::size_t> out;
   out.reserve(backends_.size());
   for (const auto& b : backends_) out.push_back(b->live_learnts());
+  return out;
+}
+
+std::vector<sat::BackendHealth> CheckScheduler::worker_health() const {
+  std::vector<sat::BackendHealth> out;
+  out.reserve(backends_.size());
+  for (const auto& b : backends_) out.push_back(b->health());
   return out;
 }
 
@@ -128,11 +169,12 @@ SweepResult CheckScheduler::sweep_incremental(encode::Miter& miter,
   std::vector<std::vector<SweepResult::UnsatGroup>> groups(W);
   std::vector<std::uint64_t> solves(W, 0);
   std::vector<char> chunk_unknown(W, 0);
+  std::vector<char> chunk_timeout(W, 0);
   std::vector<std::function<void()>> tasks;
   for (unsigned w = 0; w < W; ++w) {
     if (chunk[w].empty()) continue;
     tasks.push_back([this, w, &snap, &assumptions, &chunk, &differing, &groups, &solves,
-                     &chunk_unknown] {
+                     &chunk_unknown, &chunk_timeout] {
       sat::SolverBackend& backend = *backends_[w];
       backend.sync(snap);
       const std::vector<Candidate>& mine = chunk[w];
@@ -145,6 +187,7 @@ SweepResult CheckScheduler::sweep_incremental(encode::Miter& miter,
         const sat::SolveStatus status = backend.solve(as);
         if (status == sat::SolveStatus::Unknown) {
           chunk_unknown[w] = 1;
+          chunk_timeout[w] = backend.last_timed_out() ? 1 : 0;
           return;
         }
         if (status == sat::SolveStatus::Unsat) {
@@ -175,6 +218,7 @@ SweepResult CheckScheduler::sweep_incremental(encode::Miter& miter,
   for (unsigned w = 0; w < W; ++w) {
     result.solve_calls += solves[w];
     if (chunk_unknown[w]) unknown = true;
+    if (chunk_timeout[w]) result.timed_out = true;
     result.differing.insert(result.differing.end(), differing[w].begin(), differing[w].end());
     for (auto& g : groups[w]) result.unsat_groups.push_back(std::move(g));
   }
@@ -248,6 +292,7 @@ SweepResult CheckScheduler::sweep_legacy(encode::Miter& miter,
       if (!active[w]) continue;
       if (status[w] == sat::SolveStatus::Unknown) {
         unknown = true;
+        if (backends_[w]->last_timed_out()) result.timed_out = true;
         continue;
       }
       if (status[w] == sat::SolveStatus::Unsat) {

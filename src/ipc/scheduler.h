@@ -46,11 +46,15 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "encode/miter.h"
 #include "ipc/engine.h"
 #include "sat/backend.h"
+#include "sat/pipe_backend.h"
+#include "sat/supervise.h"
 #include "util/thread_pool.h"
 
 namespace upec::ipc {
@@ -87,6 +91,10 @@ struct SweepResult {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::size_t retained_learnts = 0;
+
+  // An Unknown status was (at least in part) a wall-clock hit: some worker's
+  // backend reported last_timed_out() for the solve that went Unknown.
+  bool timed_out = false;
 };
 
 struct SchedulerOptions {
@@ -104,6 +112,23 @@ struct SchedulerOptions {
   // Shared verdict cache consulted by every worker before solving (nullptr
   // disables). Must outlive the scheduler.
   sat::VerdictCache* verdict_cache = nullptr;
+  // Portfolio racing: each worker becomes `portfolio` diversified in-proc
+  // solvers racing every query, first definitive answer wins, losers are
+  // cancelled (sat/portfolio.h). 1 (default) = plain single-solver workers.
+  // Members share clauses through the same channel as the workers, with
+  // globally unique ids (worker * stride + member).
+  unsigned portfolio = 1;
+  std::uint64_t portfolio_seed = 0x5eedULL;
+  // External DIMACS solver command (empty = in-proc only). Each worker gets a
+  // SupervisedBackend around this command — retry, quarantine, degrade-to-
+  // in-proc (sat/supervise.h) — or, combined with portfolio > 1, one
+  // supervised external member racing alongside the in-proc members.
+  std::vector<std::string> external_argv;
+  std::uint32_t external_deadline_ms = 10'000;  // per external solve
+  sat::SuperviseOptions supervise;
+  // Absolute wall-clock deadline for the whole run; backends answer Unknown
+  // (timed_out) past it.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 class CheckScheduler {
@@ -133,6 +158,12 @@ public:
   std::vector<sat::SolverStats> worker_stats() const;
   std::vector<std::uint64_t> worker_cache_hits() const;
   std::vector<std::size_t> worker_live_learnts() const;
+  // Per-worker robustness counters (all-zero entries for plain in-proc
+  // workers; populated under portfolio/external backends).
+  std::vector<sat::BackendHealth> worker_health() const;
+
+  // The worker backends (tests inspect portfolio/supervised internals).
+  sat::SolverBackend& backend(unsigned w) { return *backends_[w]; }
 
 private:
   SweepResult sweep_incremental(encode::Miter& miter,

@@ -8,6 +8,7 @@
 // snapshot export in sat/dimacs.h) without touching the verification loops.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 
 #include "sat/share.h"
@@ -18,6 +19,37 @@
 namespace upec::sat {
 
 enum class SolveStatus : std::uint8_t { Sat, Unsat, Unknown };
+
+// Robustness counters for supervised / portfolio backends: how often the
+// endpoint answered, failed, was restarted, timed out, fell back to the
+// in-proc solver, or got quarantined. Plain in-proc backends report zeros
+// (they cannot fail externally). Aggregated per worker into the report.
+struct BackendHealth {
+  std::uint64_t solves = 0;
+  std::uint64_t sat = 0;
+  std::uint64_t unsat = 0;
+  std::uint64_t unknown = 0;            // no answer after every recovery step
+  std::uint64_t external_failures = 0;  // child solves that produced no verdict
+  std::uint64_t restarts = 0;           // retry attempts after such failures
+  std::uint64_t timeouts = 0;           // failures that were wall-clock hits
+  std::uint64_t degraded_solves = 0;    // answered by the in-proc fallback
+  std::uint64_t cancelled = 0;          // portfolio losers stopped by a winner
+  bool quarantined = false;             // endpoint benched for this run
+};
+
+inline BackendHealth& operator+=(BackendHealth& a, const BackendHealth& b) {
+  a.solves += b.solves;
+  a.sat += b.sat;
+  a.unsat += b.unsat;
+  a.unknown += b.unknown;
+  a.external_failures += b.external_failures;
+  a.restarts += b.restarts;
+  a.timeouts += b.timeouts;
+  a.degraded_solves += b.degraded_solves;
+  a.cancelled += b.cancelled;
+  a.quarantined = a.quarantined || b.quarantined;
+  return a;
+}
 
 class SolverBackend : public ModelSource {
 public:
@@ -43,6 +75,22 @@ public:
   virtual std::uint64_t cache_hits() const { return 0; }
   virtual std::uint64_t cache_misses() const { return 0; }
   virtual std::size_t live_learnts() const { return 0; }
+
+  // Wall-clock deadline: solves started after set_deadline answer Unknown
+  // (with last_timed_out() == true) once the clock passes `t`. Persists until
+  // cleared. Backends honor it cooperatively (in-proc: restart boundaries and
+  // conflict checkpoints) or through the OS (external children get killed).
+  virtual void set_deadline(std::chrono::steady_clock::time_point /*t*/) {}
+  virtual void clear_deadline() {}
+
+  // True iff the last solve() returned Unknown because of the wall clock
+  // (deadline or per-solve timeout), as opposed to a conflict budget,
+  // cancellation, or an external-solver failure. Drives the `timed_out`
+  // reason in verification reports.
+  virtual bool last_timed_out() const { return false; }
+
+  // Robustness counters (see BackendHealth). Zeros for plain backends.
+  virtual BackendHealth health() const { return {}; }
 };
 
 // In-process backend: owns a from-scratch CDCL solver kept in sync with the
@@ -80,6 +128,7 @@ public:
 
   SolveStatus solve(const std::vector<Lit>& assumptions) override {
     core_.clear();
+    last_timed_out_ = false;
     if (!ok_) return SolveStatus::Unsat; // formula UNSAT outright: empty core
     if (cache_ != nullptr) {
       if (cache_->lookup_unsat(cursor_, assumptions, &core_)) {
@@ -93,7 +142,8 @@ public:
       core_ = solver_.conflict_assumptions();
       if (cache_ != nullptr) cache_->insert_unsat(cursor_, assumptions, core_);
       return SolveStatus::Unsat;
-    } catch (const SolverInterrupted&) {
+    } catch (const SolverInterrupted& e) {
+      last_timed_out_ = e.reason == SolverInterrupted::Reason::Deadline;
       return SolveStatus::Unknown;
     }
   }
@@ -105,6 +155,10 @@ public:
   std::uint64_t cache_hits() const override { return cache_hits_; }
   std::uint64_t cache_misses() const override { return cache_misses_; }
   std::size_t live_learnts() const override { return solver_.num_learnts(); }
+
+  void set_deadline(std::chrono::steady_clock::time_point t) override { solver_.set_deadline(t); }
+  void clear_deadline() override { solver_.clear_deadline(); }
+  bool last_timed_out() const override { return last_timed_out_; }
 
   Solver& solver() { return solver_; }
   const Solver& solver() const { return solver_; }
@@ -119,6 +173,7 @@ private:
   std::vector<Lit> core_;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
+  bool last_timed_out_ = false;
   bool ok_ = true;
 };
 

@@ -11,7 +11,16 @@ Solver::Solver() = default;
 Var Solver::new_var() {
   const Var v = static_cast<Var>(assigns_.size());
   assigns_.push_back(LBool::Undef);
-  phase_.push_back(0);
+  if (phase_seed_ == 0) {
+    phase_.push_back(0);
+  } else {
+    // splitmix64 step: one deterministic pseudo-random initial polarity per
+    // variable, fixed by the seed — independent of solve order or timing.
+    std::uint64_t z = (phase_rng_state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    phase_.push_back((z ^ (z >> 31)) & 1 ? 1 : -1);
+  }
   var_info_.push_back(VarInfo{});
   activity_.push_back(0.0);
   seen_.push_back(0);
@@ -504,6 +513,15 @@ bool Solver::solve(const std::vector<Lit>& assumptions) {
 
   cancel_until(0);
 
+  const auto past_deadline = [this] {
+    return deadline_ && std::chrono::steady_clock::now() >= *deadline_;
+  };
+  const auto cancelled = [this] {
+    return cancel_flag_ != nullptr && cancel_flag_->load(std::memory_order_relaxed);
+  };
+  if (past_deadline()) throw SolverInterrupted{SolverInterrupted::Reason::Deadline};
+  if (cancelled()) throw SolverInterrupted{SolverInterrupted::Reason::Cancelled};
+
   // Solve entry is a restart boundary: drain foreign clauses accumulated
   // since the last call before any search starts.
   if (import_hook_) {
@@ -513,7 +531,7 @@ bool Solver::solve(const std::vector<Lit>& assumptions) {
 
   int restart_count = 0;
   std::uint64_t conflicts_until_restart =
-      static_cast<std::uint64_t>(luby(2.0, restart_count) * 100);
+      static_cast<std::uint64_t>(luby(2.0, restart_count) * restart_unit_);
   std::uint64_t conflicts_this_restart = 0;
   const std::uint64_t budget_start = stats_.conflicts;
 
@@ -524,7 +542,15 @@ bool Solver::solve(const std::vector<Lit>& assumptions) {
       ++conflicts_this_restart;
       if (conflict_budget_ && stats_.conflicts - budget_start > conflict_budget_) {
         cancel_until(0);
-        throw SolverInterrupted{};
+        throw SolverInterrupted{SolverInterrupted::Reason::Budget};
+      }
+      if (cancelled()) {
+        cancel_until(0);
+        throw SolverInterrupted{SolverInterrupted::Reason::Cancelled};
+      }
+      if ((stats_.conflicts & 511) == 0 && past_deadline()) {
+        cancel_until(0);
+        throw SolverInterrupted{SolverInterrupted::Reason::Deadline};
       }
       if (decision_level() == 0) {
         // Conflict independent of assumptions: formula is UNSAT outright.
@@ -567,7 +593,14 @@ bool Solver::solve(const std::vector<Lit>& assumptions) {
         ++stats_.restarts;
         ++restart_count;
         conflicts_this_restart = 0;
-        conflicts_until_restart = static_cast<std::uint64_t>(luby(2.0, restart_count) * 100);
+        conflicts_until_restart =
+            static_cast<std::uint64_t>(luby(2.0, restart_count) * restart_unit_);
+        // A restart boundary is the canonical deadline check (mirrors the
+        // supervised subprocess deadline, see set_deadline).
+        if (past_deadline()) {
+          cancel_until(0);
+          throw SolverInterrupted{SolverInterrupted::Reason::Deadline};
+        }
         // A restart is the only in-solve import point: no analysis is in
         // flight. Foreign clauses must attach at the root, so only pay the
         // full backtrack when something actually arrived.
@@ -596,6 +629,10 @@ bool Solver::solve(const std::vector<Lit>& assumptions) {
         }
       }
       if (next == Lit::undef()) {
+        if (cancelled()) {
+          cancel_until(0);
+          throw SolverInterrupted{SolverInterrupted::Reason::Cancelled};
+        }
         ++stats_.decisions;
         next = pick_branch_lit();
         if (next == Lit::undef()) {

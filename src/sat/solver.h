@@ -13,9 +13,12 @@
 //     so clauses are kept across calls and only the assumption set changes).
 #pragma once
 
-#include <functional>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <limits>
+#include <optional>
 #include <vector>
 
 #include "sat/clause_sink.h"
@@ -121,6 +124,37 @@ public:
   // Budget: abort solve() (returning UNSAT=false is wrong, so solve() throws
   // SolverInterrupted) after this many conflicts. 0 = no limit.
   void set_conflict_budget(std::uint64_t budget) { conflict_budget_ = budget; }
+
+  // Wall-clock deadline: solve() throws SolverInterrupted{Deadline} once the
+  // clock passes `t`. Checked at solve entry, at every restart boundary, and
+  // every 512 conflicts (restart intervals grow with the Luby sequence, so a
+  // long UNSAT proof would otherwise overshoot the deadline unboundedly).
+  // This is the same deadline machinery supervised subprocess backends get
+  // from the OS — in-proc solvers honor it cooperatively. Persists across
+  // solve() calls until cleared.
+  void set_deadline(std::chrono::steady_clock::time_point t) { deadline_ = t; }
+  void clear_deadline() { deadline_.reset(); }
+
+  // Cooperative cancellation for portfolio racing: while `*flag` is true,
+  // solve() aborts with SolverInterrupted{Cancelled} at the next conflict or
+  // decision (a relaxed atomic load per step — negligible against BCP). The
+  // flag must outlive the solver or be cleared with nullptr. The solver is
+  // left at decision level 0 and stays fully usable.
+  void set_cancel_flag(const std::atomic<bool>* flag) { cancel_flag_ = flag; }
+
+  // --- portfolio diversity ------------------------------------------------
+  // Restart pacing: conflicts-until-restart is luby(2, k) * unit (default
+  // 100, MiniSat's pacing). Portfolio members diversify the search by running
+  // different units against the same formula.
+  void set_restart_unit(unsigned unit) { restart_unit_ = unit == 0 ? 100 : unit; }
+  // Initial phase diversity: with a nonzero seed, variables created from now
+  // on get a pseudo-random initial polarity instead of the default negative
+  // one. Phase saving still overrides the initial value after the first
+  // backtrack, so this perturbs where the search *starts*, not how it learns.
+  void set_phase_seed(std::uint64_t seed) {
+    phase_seed_ = seed;
+    phase_rng_state_ = seed * 0x9e3779b97f4a7c15ULL + 1;
+  }
 
   bool okay() const { return ok_; }
 
@@ -261,6 +295,11 @@ private:
   float cla_inc_ = 1.0f;
   std::uint64_t max_learnts_ = 8192;
   std::uint64_t conflict_budget_ = 0;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+  const std::atomic<bool>* cancel_flag_ = nullptr;
+  unsigned restart_unit_ = 100;
+  std::uint64_t phase_seed_ = 0;       // 0 = default negative initial phase
+  std::uint64_t phase_rng_state_ = 0;  // splitmix64 stream for initial phases
 
   // Learned-clause sharing (inert unless hooks installed).
   ExportHook export_hook_;
@@ -275,7 +314,13 @@ private:
   SolverStats stats_;
 };
 
-// Thrown when the conflict budget is exhausted; callers treat it as "unknown".
-struct SolverInterrupted {};
+// Thrown when a solve() is aborted without an answer; callers treat it as
+// "unknown". The reason distinguishes resource exhaustion (budget), the
+// wall-clock deadline (reported upward as `timed_out`), and cooperative
+// cancellation (a portfolio sibling answered first).
+struct SolverInterrupted {
+  enum class Reason : std::uint8_t { Budget, Deadline, Cancelled };
+  Reason reason = Reason::Budget;
+};
 
 } // namespace upec::sat

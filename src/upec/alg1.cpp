@@ -18,11 +18,13 @@ void collect_solver_usage(const UpecContext& ctx, SolverUsage& usage) {
   usage.total = ctx.solver.stats();
   usage.per_worker.clear();
   usage.per_worker_cache_hits.clear();
+  usage.per_worker_health.clear();
   usage.retained_learnts = ctx.solver.num_learnts();
   if (ctx.scheduler) {
     usage.per_worker = ctx.scheduler->worker_stats();
     for (const sat::SolverStats& w : usage.per_worker) usage.total += w;
     usage.per_worker_cache_hits = ctx.scheduler->worker_cache_hits();
+    usage.per_worker_health = ctx.scheduler->worker_health();
     for (std::size_t l : ctx.scheduler->worker_live_learnts()) usage.retained_learnts += l;
   }
   // The cache is shared, so its global counters already cover the main
@@ -62,6 +64,7 @@ Alg1Result run_alg1(UpecContext& ctx, const Alg1Options& options) {
     log.pruned = out.pruned;
     log.cache_hits = out.cache_hits;
     log.cache_misses = out.cache_misses;
+    log.timed_out = out.timed_out;
     result.total_seconds += out.seconds;
 
     if (!out.pers_hits.empty()) {
@@ -83,6 +86,7 @@ Alg1Result run_alg1(UpecContext& ctx, const Alg1Options& options) {
 
     if (out.status == ipc::CheckStatus::Unknown) {
       result.verdict = Verdict::Unknown;
+      result.timed_out = out.timed_out;
       collect_solver_usage(ctx, result.stats);
       return result;
     }

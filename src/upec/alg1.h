@@ -18,6 +18,7 @@
 
 #include "ipc/cex.h"
 #include "ipc/engine.h"
+#include "sat/backend.h"
 #include "upec/state_sets.h"
 
 namespace upec {
@@ -41,6 +42,9 @@ struct IterationLog {
   std::size_t pruned = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  // The iteration's Unknown status came from a wall-clock deadline hit
+  // (VerifyOptions::deadline_ms) rather than conflict-budget exhaustion.
+  bool timed_out = false;
 };
 
 // Cumulative solver statistics behind a verification run: the context's main
@@ -59,6 +63,9 @@ struct SolverUsage {
   std::uint64_t pruned_candidates = 0;
   std::size_t retained_learnts = 0;
   std::vector<std::uint64_t> per_worker_cache_hits;  // parallel to per_worker
+  // Per-worker robustness counters (parallel to per_worker; all-zero entries
+  // for plain in-proc workers, populated under portfolio/external backends).
+  std::vector<sat::BackendHealth> per_worker_health;
 };
 
 struct Alg1Result {
@@ -74,6 +81,8 @@ struct Alg1Result {
   StateSet final_s;
   double total_seconds = 0.0;
   SolverUsage stats;
+  // Unknown verdict was (at least in part) a wall-clock deadline hit.
+  bool timed_out = false;
 };
 
 struct Alg1Options {

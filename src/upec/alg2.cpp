@@ -42,6 +42,7 @@ Alg2Result run_alg2(UpecContext& ctx, const Alg2Options& options) {
     step.iteration.pruned = out.pruned;
     step.iteration.cache_hits = out.cache_hits;
     step.iteration.cache_misses = out.cache_misses;
+    step.iteration.timed_out = out.timed_out;
     result.total_seconds += out.seconds;
 
     if (!out.pers_hits.empty()) {
@@ -61,6 +62,7 @@ Alg2Result run_alg2(UpecContext& ctx, const Alg2Options& options) {
 
     if (out.status == ipc::CheckStatus::Unknown) {
       result.verdict = Verdict::Unknown;
+      result.timed_out = out.timed_out;
       result.final_k = k;
       collect_solver_usage(ctx, result.stats);
       return result;
@@ -81,6 +83,7 @@ Alg2Result run_alg2(UpecContext& ctx, const Alg2Options& options) {
         ind.extract_waveform = options.extract_waveform;
         result.induction = run_alg1(ctx, ind);
         result.verdict = result.induction->verdict;
+        result.timed_out = result.induction->timed_out;
         if (result.induction->verdict == Verdict::Vulnerable) {
           result.persistent_hits = result.induction->persistent_hits;
           result.full_cex = result.induction->full_cex;

@@ -34,6 +34,8 @@ struct Alg2Result {
   std::optional<Alg1Result> induction;
   double total_seconds = 0.0;
   SolverUsage stats;
+  // Unknown verdict was (at least in part) a wall-clock deadline hit.
+  bool timed_out = false;
 };
 
 struct Alg2Options {

@@ -15,21 +15,31 @@ UpecContext::UpecContext(const soc::Soc& s, VerifyOptions opts)
       macros(miter, s, options.macros),
       pers(svt, s),
       engine(solver),
-      scheduler(options.threads > 1
-                    ? std::make_unique<ipc::CheckScheduler>(
-                          store, ipc::SchedulerOptions{
-                                     .threads = options.threads,
-                                     .conflict_budget = options.conflict_budget,
-                                     .share_clauses = options.share_clauses,
-                                     .incremental = options.incremental_sweeps,
-                                     .verdict_cache =
-                                         options.verdict_cache ? &verdict_cache : nullptr})
-                    : nullptr),
+      run_deadline(options.deadline_ms > 0
+                       ? std::optional(std::chrono::steady_clock::now() +
+                                       std::chrono::milliseconds(options.deadline_ms))
+                       : std::nullopt),
       s_pers(StateSet::none(svt)) {
+  if (options.threads > 1 || options.portfolio > 1 || !options.external_solver.empty()) {
+    ipc::SchedulerOptions so;
+    so.threads = options.threads;
+    so.conflict_budget = options.conflict_budget;
+    so.share_clauses = options.share_clauses;
+    so.incremental = options.incremental_sweeps;
+    so.verdict_cache = options.verdict_cache ? &verdict_cache : nullptr;
+    so.portfolio = options.portfolio;
+    so.portfolio_seed = options.portfolio_seed;
+    so.external_argv = options.external_solver;
+    so.external_deadline_ms = options.external_deadline_ms;
+    so.supervise = options.supervise;
+    so.deadline = run_deadline;
+    scheduler = std::make_unique<ipc::CheckScheduler>(store, std::move(so));
+  }
   miter.set_model_source(&solver);
   miter.set_exempt(
       [this](encode::Miter& m, rtlir::StateVarId sv) { return macros.exempt_for(m, sv); });
   solver.set_conflict_budget(options.conflict_budget);
+  if (run_deadline) solver.set_deadline(*run_deadline);
   if (options.verdict_cache) engine.set_verdict_cache(&verdict_cache, &store);
 
   StateSet base = pers.s_pers();

@@ -3,8 +3,10 @@
 // verification entry points used by examples, tests and benchmarks.
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <memory>
+#include <optional>
 
 #include "encode/miter.h"
 #include "ipc/engine.h"
@@ -54,6 +56,27 @@ struct VerifyOptions {
   // and every scheduler worker (sat/verdict_cache.h). Only repeated queries
   // against an unchanged formula hit, so this is correctness-neutral.
   bool verdict_cache = true;
+  // Wall-clock budget for the whole verification run, in milliseconds
+  // (0 = unlimited), measured from context construction. Solvers abort past
+  // it and the run reports Verdict::Unknown with `timed_out` set — a
+  // time-starved run is distinguishable from a conflict-budget-starved one.
+  std::uint64_t deadline_ms = 0;
+  // Portfolio racing: every check runs on `portfolio` diversified solvers
+  // (restart pacing / initial-phase seeds), first definitive answer wins,
+  // losers are cancelled. Verification results are bit-identical with the
+  // portfolio on or off — answers are semantic (models are validated or
+  // harvested per candidate, UNSAT is sound from any member) — pinned by
+  // test_determinism. 1 (default) = off.
+  unsigned portfolio = 1;
+  std::uint64_t portfolio_seed = 0x5eedULL;
+  // External DIMACS solver command raced/consulted per worker under the
+  // supervision policy below (sat/supervise.h): per-solve deadline, restart
+  // with backoff on crash, quarantine after consecutive failures, graceful
+  // degradation to the in-proc solver. Empty (default) = in-proc only.
+  // Use sat::self_solver_argv() to pipe through this binary itself.
+  std::vector<std::string> external_solver;
+  std::uint32_t external_deadline_ms = 10'000;
+  sat::SuperviseOptions supervise;
 };
 
 class UpecContext {
@@ -83,7 +106,11 @@ public:
   // capture a pointer to the cache at construction.
   sat::VerdictCache verdict_cache;
   FrontierPruner pruner;
-  // Non-null iff options.threads > 1.
+  // Absolute deadline derived from options.deadline_ms at construction
+  // (nullopt = unlimited); installed on the main solver and every worker.
+  std::optional<std::chrono::steady_clock::time_point> run_deadline;
+  // Non-null iff any check needs fan-out machinery: options.threads > 1,
+  // options.portfolio > 1, or an external solver is configured.
   std::unique_ptr<ipc::CheckScheduler> scheduler;
   StateSet s_pers; // after filtering
 

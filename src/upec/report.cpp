@@ -16,6 +16,7 @@ void render_iteration_row(std::ostringstream& os, unsigned idx, const IterationL
      << std::setw(12) << log.conflicts << "  "
      << (log.status == ipc::CheckStatus::Holds      ? "holds"
          : log.status == ipc::CheckStatus::Violated ? "cex"
+         : log.timed_out                            ? "unknown (timed out)"
                                                     : "unknown")
      << "\n";
 }
@@ -65,6 +66,22 @@ void render_solver_usage(std::ostringstream& os, const SolverUsage& usage) {
       os << ", " << usage.per_worker_cache_hits[w] << " cache hits";
     }
     os << "\n";
+    // Robustness counters only exist under portfolio / external backends;
+    // plain in-proc workers report an all-zero BackendHealth and get no line.
+    if (w < usage.per_worker_health.size()) {
+      const sat::BackendHealth& h = usage.per_worker_health[w];
+      if (h.solves != 0) {
+        os << "    health: " << h.solves << " backend solves (" << h.sat << " sat / " << h.unsat
+           << " unsat / " << h.unknown << " unknown)";
+        if (h.external_failures != 0) os << ", " << h.external_failures << " external failures";
+        if (h.restarts != 0) os << ", " << h.restarts << " restarts";
+        if (h.timeouts != 0) os << ", " << h.timeouts << " timeouts";
+        if (h.degraded_solves != 0) os << ", " << h.degraded_solves << " degraded";
+        if (h.cancelled != 0) os << ", " << h.cancelled << " cancelled";
+        if (h.quarantined) os << ", QUARANTINED";
+        os << "\n";
+      }
+    }
   }
 }
 
@@ -95,8 +112,9 @@ std::string render_report(const UpecContext& ctx, const Alg1Result& result) {
   std::ostringstream os;
   os << "UPEC-SSC (Alg. 1, 2-cycle property)\n";
   os << iteration_table(ctx, result);
-  os << "verdict: " << verdict_name(result.verdict) << "  (total " << std::fixed
-     << std::setprecision(3) << result.total_seconds << " s)\n";
+  os << "verdict: " << verdict_name(result.verdict)
+     << (result.verdict == Verdict::Unknown && result.timed_out ? " (timed out)" : "")
+     << "  (total " << std::fixed << std::setprecision(3) << result.total_seconds << " s)\n";
   render_solver_usage(os, result.stats);
   if (result.verdict == Verdict::Vulnerable) {
     render_hits(os, ctx, result.persistent_hits, result.full_cex);
@@ -115,8 +133,9 @@ std::string render_report(const UpecContext& ctx, const Alg2Result& result) {
   std::ostringstream os;
   os << "UPEC-SSC unrolled (Alg. 2), final k = " << result.final_k << "\n";
   os << iteration_table(ctx, result);
-  os << "verdict: " << verdict_name(result.verdict) << "  (total " << std::fixed
-     << std::setprecision(3) << result.total_seconds << " s)\n";
+  os << "verdict: " << verdict_name(result.verdict)
+     << (result.verdict == Verdict::Unknown && result.timed_out ? " (timed out)" : "")
+     << "  (total " << std::fixed << std::setprecision(3) << result.total_seconds << " s)\n";
   render_solver_usage(os, result.stats);
   if (result.verdict == Verdict::Vulnerable) {
     render_hits(os, ctx, result.persistent_hits, result.full_cex);

@@ -51,6 +51,7 @@ SweepOutcome sweep_sequential_legacy(UpecContext& ctx, const std::string& proper
     out.conflicts += check.conflicts;
     if (check.status == ipc::CheckStatus::Unknown) {
       unknown = true;
+      out.timed_out = out.timed_out || check.timed_out;
       break;
     }
     if (check.status == ipc::CheckStatus::Holds) break;
@@ -116,6 +117,7 @@ SweepOutcome sweep_sequential_incremental(UpecContext& ctx,
       out.conflicts += check.conflicts;
       if (check.status == ipc::CheckStatus::Unknown) {
         unknown = true;
+        out.timed_out = out.timed_out || check.timed_out;
         break;
       }
       if (check.status == ipc::CheckStatus::Holds) {
@@ -148,6 +150,7 @@ SweepOutcome sweep_sequential_incremental(UpecContext& ctx,
     out.conflicts += check.conflicts;
     if (check.status == ipc::CheckStatus::Unknown) {
       unknown = true;
+      out.timed_out = out.timed_out || check.timed_out;
     } else if (check.status == ipc::CheckStatus::Holds) {
       out.unsat_groups.push_back(ipc::SweepResult::UnsatGroup{members, std::move(core)});
     } else {
@@ -213,6 +216,7 @@ SweepOutcome sweep_frame(UpecContext& ctx, const std::string& property_name,
     out.cache_hits = r.cache_hits;
     out.cache_misses = r.cache_misses;
     out.unsat_groups = std::move(r.unsat_groups);
+    out.timed_out = r.timed_out;
   } else if (incremental) {
     SweepOutcome seq = sweep_sequential_incremental(ctx, assumptions, members, frame, saturate);
     seq.pruned = out.pruned;

@@ -41,6 +41,9 @@ struct SweepOutcome {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::vector<ipc::SweepResult::UnsatGroup> unsat_groups;
+  // An Unknown status was (at least in part) a wall-clock deadline hit, as
+  // opposed to conflict-budget exhaustion (see VerifyOptions::deadline_ms).
+  bool timed_out = false;
 };
 
 SweepOutcome sweep_frame(UpecContext& ctx, const std::string& property_name,

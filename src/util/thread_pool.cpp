@@ -25,10 +25,22 @@ void ThreadPool::worker_loop() {
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stop_ || next_ < tasks_.size(); });
-      if (stop_) return;
+      // Drain before honoring stop_: a batch in flight is always finished and
+      // its exceptions delivered through run_all — teardown never strands a
+      // caller blocked on done_cv_ with tasks nobody will claim.
+      if (next_ >= tasks_.size()) {
+        if (stop_) return;
+        continue;
+      }
       index = next_++;
       task = std::move(tasks_[index]);
     }
+    // The task body is the only uncontrolled code on this thread. Catch
+    // *everything* (including non-std::exception payloads like
+    // sat::SolverInterrupted): an exception escaping a std::thread body is
+    // std::terminate, which would take the whole verifier down with the
+    // batch's results. The first error (in task order) is rethrown on the
+    // caller's thread by run_all after the batch barrier.
     std::exception_ptr error;
     try {
       task();

@@ -31,9 +31,15 @@ public:
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
   // Runs all tasks and blocks until every one finished. Tasks may run on any
-  // worker thread in any order. If one or more tasks threw, the first
-  // exception (in task order) is rethrown after the batch completed — the
-  // batch is never abandoned half-finished.
+  // worker thread in any order.
+  //
+  // Exception contract: a throwing task can never std::terminate the pool —
+  // workers catch everything (including non-std::exception payloads), the
+  // remaining tasks of the batch still run, and the first exception in task
+  // order is rethrown here, on the caller's thread, after the batch
+  // completed. The pool stays fully usable for subsequent batches. Teardown
+  // is drain-first: the destructor lets an in-flight batch finish rather
+  // than stranding a caller blocked on the barrier.
   void run_all(std::vector<std::function<void()>> tasks);
 
 private:

@@ -61,6 +61,60 @@ TEST(ThreadPool, ExceptionSurfacesAfterBatchCompletes) {
   EXPECT_EQ(finished.load(), 8);
 }
 
+TEST(ThreadPool, FirstExceptionInTaskOrderWinsAcrossMultipleThrowers) {
+  // Several tasks throw; the contract is "first exception in *task order*"
+  // regardless of which worker finishes first, so the caller sees a
+  // deterministic error. Task 2 throws logic_error, task 5 runtime_error:
+  // logic_error must surface.
+  ThreadPool pool(3);
+  std::atomic<int> finished{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    if (i == 2) {
+      tasks.push_back([] { throw std::logic_error("task 2"); });
+    } else if (i == 5) {
+      tasks.push_back([] { throw std::runtime_error("task 5"); });
+    } else {
+      tasks.push_back([&finished] { finished.fetch_add(1); });
+    }
+  }
+  EXPECT_THROW(pool.run_all(std::move(tasks)), std::logic_error);
+  EXPECT_EQ(finished.load(), 6);
+}
+
+TEST(ThreadPool, NonStdExceptionPayloadIsCapturedNotTerminate) {
+  // Solver backends throw sat::SolverInterrupted, which is NOT derived from
+  // std::exception. If the worker's catch were `catch (const std::exception&)`
+  // this would escape the thread body and std::terminate the process.
+  struct Interrupted {
+    int code;
+  };
+  ThreadPool pool(2);
+  bool caught = false;
+  try {
+    pool.run_all({[] { throw Interrupted{42}; }});
+  } catch (const Interrupted& e) {
+    caught = true;
+    EXPECT_EQ(e.code, 42);
+  }
+  EXPECT_TRUE(caught);
+}
+
+TEST(ThreadPool, PoolStaysUsableAfterThrowingBatch) {
+  // A throwing batch must not poison the pool: subsequent batches run
+  // normally and deliver their own results (the scheduler reuses one pool
+  // across every sweep of a verification run).
+  ThreadPool pool(2);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(pool.run_all({[] { throw std::runtime_error("boom"); }}), std::runtime_error);
+    std::atomic<int> ok{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 6; ++i) tasks.push_back([&ok] { ok.fetch_add(1); });
+    pool.run_all(std::move(tasks));
+    EXPECT_EQ(ok.load(), 6);
+  }
+}
+
 TEST(ThreadPool, ZeroWorkersRunsInline) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.size(), 0u);
