@@ -157,6 +157,17 @@ bool Miter::lit_in_model(Lit l) const {
   return model_->model_value(l);
 }
 
+void Miter::frozen_vars(std::vector<sat::Var>& out) const {
+  out.push_back(cnf_.lit_true().var());
+  for (const auto& [sv, l] : eq_lits_) out.push_back(l.var());
+  for (const auto& [key, l] : diff_lits_) out.push_back(l.var());
+  for (const auto& [sv, l] : exempt_cache_) out.push_back(l.var());
+  for (const auto& [frame, group] : candidate_groups_) {
+    for (const auto& [sv, l] : group.activation) out.push_back(l.var());
+    if (group.tail != Lit::undef()) out.push_back(group.tail.var());
+  }
+}
+
 bool Miter::differs_in_model(const sat::ModelSource& model, rtlir::StateVarId sv,
                              unsigned frame) {
   const Lit ex = exempt_lit(sv);

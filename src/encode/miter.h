@@ -56,7 +56,18 @@ public:
   CnfBuilder& cnf() { return cnf_; }
   UnrolledInstance& inst_a() { return a_; }
   UnrolledInstance& inst_b() { return b_; }
+  const UnrolledInstance& inst_a() const { return a_; }
+  const UnrolledInstance& inst_b() const { return b_; }
   const rtlir::StateVarTable& state_vars() const { return svt_; }
+
+  // Appends every CNF variable the sweep layers address by name — eq
+  // assumptions, diff literals, candidate activation literals and chain
+  // tails, exemption literals, and the constant-true variable. This is the
+  // miter's half of the Simplifier frozen-variable contract (sat/simplify.h):
+  // a preprocessor must keep these variables intact or assuming/harvesting
+  // them would silently mean nothing. Monotone: registration only ever adds
+  // entries, so a set collected now covers every earlier sweep's needs.
+  void frozen_vars(std::vector<sat::Var>& out) const;
 
   // Exemption hook: returns, for a state variable, a literal that is true
   // when the variable is exempt from equivalence (memory word inside the

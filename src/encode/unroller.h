@@ -54,6 +54,21 @@ public:
   // Number of net images actually encoded (for COI reporting).
   std::size_t encoded_net_images() const { return encoded_nets_; }
 
+  // --- const peeks (no encoding) ----------------------------------------------
+  // Frames materialized so far. net_at/state_at grow this on demand; these
+  // peeks never do — they exist so callers can enumerate already-encoded
+  // images (e.g. the frozen-variable declaration for CNF preprocessing)
+  // without perturbing the clause stream.
+  unsigned frames_encoded() const { return static_cast<unsigned>(frames_.size()); }
+
+  // The already-encoded image of `net` at `frame`, or nullptr if that image
+  // (or the frame) has not been materialized.
+  const Bits* find_net(unsigned frame, rtlir::NetId net) const {
+    if (frame >= frames_.size()) return nullptr;
+    auto it = frames_[frame].nets.find(net);
+    return it == frames_[frame].nets.end() ? nullptr : &it->second;
+  }
+
 private:
   struct Frame {
     std::unordered_map<rtlir::NetId, Bits> nets;

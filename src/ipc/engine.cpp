@@ -33,7 +33,7 @@ CheckResult Engine::check_assumptions(const std::vector<encode::Lit>& assumption
   sat::CnfSnapshot::Cursor cursor;
   if (cached) {
     cursor = sat::CnfSnapshot::Cursor{store_->num_vars(), store_->num_clauses()};
-    if (cache_->lookup_unsat(cursor, assumptions, core_out)) {
+    if (cache_->lookup_unsat(store_->id(), cursor, assumptions, core_out)) {
       ++cache_hits_;
       result.status = CheckStatus::Holds;
       return result;
@@ -65,7 +65,7 @@ CheckResult Engine::check_assumptions(const std::vector<encode::Lit>& assumption
 
   if (result.status == CheckStatus::Holds) {
     const std::vector<encode::Lit>& core = solver_.conflict_assumptions();
-    if (cached) cache_->insert_unsat(cursor, assumptions, core);
+    if (cached) cache_->insert_unsat(store_->id(), cursor, assumptions, core);
     if (core_out != nullptr) *core_out = core;
   }
   return result;

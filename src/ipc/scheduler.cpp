@@ -53,6 +53,13 @@ CheckScheduler::CheckScheduler(sat::CnfStore& store, SchedulerOptions options)
     if (options_.deadline) backend->set_deadline(*options_.deadline);
     backends_.push_back(std::move(backend));
   }
+
+  // Preprocessing needs the frozen-variable contract (see SchedulerOptions)
+  // and only pays off on the incremental path, where one snapshot serves the
+  // whole sweep and generations persist across iterations.
+  if (options_.preprocess && options_.incremental && options_.frozen_vars) {
+    simplifier_ = std::make_unique<sat::Simplifier>(options_.simplify);
+  }
 }
 
 std::vector<sat::SolverStats> CheckScheduler::worker_stats() const {
@@ -139,6 +146,19 @@ SweepResult CheckScheduler::sweep_incremental(encode::Miter& miter,
   miter.register_candidates(candidates, frame);
   const sat::CnfSnapshot snap = store_.snapshot();
 
+  // Preprocess the sweep snapshot on the calling thread: one simplification
+  // (or a generation-cache hit) serves every worker below. The frozen set is
+  // the encode/upec layers' declaration plus this sweep's own assumption
+  // variables — everything a worker will assume or read back. Activation and
+  // diff literals are covered by the provider (Miter::frozen_vars).
+  sat::CnfSnapshot view = snap;
+  if (simplifier_ != nullptr) {
+    std::vector<sat::Var> frozen = options_.frozen_vars();
+    frozen.reserve(frozen.size() + assumptions.size());
+    for (encode::Lit l : assumptions) frozen.push_back(l.var());
+    view = simplifier_->simplify(snap, frozen);
+  }
+
   // Round-robin partition: chunk w owns every W-th candidate. Candidates
   // arrive in ascending StateVarId order (StateSet::to_vector), so chunks
   // stay balanced as S shrinks across iterations. Activation and diff
@@ -173,10 +193,10 @@ SweepResult CheckScheduler::sweep_incremental(encode::Miter& miter,
   std::vector<std::function<void()>> tasks;
   for (unsigned w = 0; w < W; ++w) {
     if (chunk[w].empty()) continue;
-    tasks.push_back([this, w, &snap, &assumptions, &chunk, &differing, &groups, &solves,
+    tasks.push_back([this, w, &view, &assumptions, &chunk, &differing, &groups, &solves,
                      &chunk_unknown, &chunk_timeout] {
       sat::SolverBackend& backend = *backends_[w];
-      backend.sync(snap);
+      backend.sync(view);
       const std::vector<Candidate>& mine = chunk[w];
       std::vector<char> resolved(mine.size(), 0);
       for (std::size_t i = 0; i < mine.size(); ++i) {
@@ -224,6 +244,7 @@ SweepResult CheckScheduler::sweep_incremental(encode::Miter& miter,
   }
 
   finalize(result, before, ch_before, cm_before, unknown, t0);
+  if (simplifier_ != nullptr) result.simplify = simplifier_->stats();
   return result;
 }
 

@@ -45,6 +45,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -54,6 +55,7 @@
 #include "ipc/engine.h"
 #include "sat/backend.h"
 #include "sat/pipe_backend.h"
+#include "sat/simplify.h"
 #include "sat/supervise.h"
 #include "util/thread_pool.h"
 
@@ -95,6 +97,10 @@ struct SweepResult {
   // An Unknown status was (at least in part) a wall-clock hit: some worker's
   // backend reported last_timed_out() for the solve that went Unknown.
   bool timed_out = false;
+
+  // Cumulative snapshot-preprocessing counters at sweep end (all zero when
+  // preprocessing is off; see SchedulerOptions::preprocess).
+  sat::SimplifyStats simplify;
 };
 
 struct SchedulerOptions {
@@ -129,6 +135,22 @@ struct SchedulerOptions {
   // Absolute wall-clock deadline for the whole run; backends answer Unknown
   // (timed_out) past it.
   std::optional<std::chrono::steady_clock::time_point> deadline;
+  // Snapshot preprocessing (sat/simplify.h) for the incremental sweep path:
+  // the sweep snapshot is simplified once on the calling thread — subsumption,
+  // bounded variable elimination, failed-literal probing — and every worker
+  // hydrates from the simplified generation instead of the raw store. Takes
+  // effect only when `frozen_vars` is installed: the provider names every
+  // variable the sweeps will assume or read back from worker models (the
+  // Simplifier soundness contract), so preprocessing without one would be
+  // unsound and is treated as disabled. The legacy path grows the store every
+  // round and is never preprocessed.
+  bool preprocess = true;
+  sat::SimplifyOptions simplify;
+  // Frozen-variable provider, called on the calling thread before each
+  // fan-out. The sweep's own assumption variables are appended automatically,
+  // so the provider only covers what the encode/upec layers know about
+  // (Miter::frozen_vars / UpecContext::frozen_vars).
+  std::function<std::vector<sat::Var>()> frozen_vars;
 };
 
 class CheckScheduler {
@@ -165,6 +187,13 @@ public:
   // The worker backends (tests inspect portfolio/supervised internals).
   sat::SolverBackend& backend(unsigned w) { return *backends_[w]; }
 
+  // True iff snapshot preprocessing is active for incremental sweeps.
+  bool preprocessing() const { return simplifier_ != nullptr; }
+  // Cumulative preprocessing counters (all zero when preprocessing is off).
+  sat::SimplifyStats simplify_stats() const {
+    return simplifier_ ? simplifier_->stats() : sat::SimplifyStats{};
+  }
+
 private:
   SweepResult sweep_incremental(encode::Miter& miter,
                                 const std::vector<encode::Lit>& assumptions,
@@ -181,6 +210,7 @@ private:
   util::ThreadPool pool_;
   std::unique_ptr<sat::ClauseChannel> channel_;  // non-null iff sharing enabled
   std::vector<std::unique_ptr<sat::SolverBackend>> backends_;
+  std::unique_ptr<sat::Simplifier> simplifier_;  // non-null iff preprocessing enabled
 };
 
 } // namespace upec::ipc

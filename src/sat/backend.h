@@ -120,7 +120,26 @@ public:
     }
   }
 
-  void sync(const CnfSnapshot& snap) override { ok_ = snap.load_into(solver_, cursor_) && ok_; }
+  // Replays the snapshot delta into the solver. When the snapshot's backing
+  // store changes identity (preprocessing emits each simplified generation
+  // into a fresh CnfStore), the solver is rebuilt from scratch — clause
+  // database dropped, configuration and cumulative stats kept, channel
+  // replay restarted — and the whole new store is hydrated. Learnt clauses
+  // cross store generations soundly in both directions: every simplified
+  // clause is a consequence of the original formula, so anything learnt from
+  // one generation is implied by every other.
+  void sync(const CnfSnapshot& snap) override {
+    if (snap.store_id() != store_id_) {
+      if (store_id_ != 0) {
+        solver_.reset();
+        channel_cursor_ = 0;
+        ok_ = true;
+      }
+      store_id_ = snap.store_id();
+      cursor_ = CnfSnapshot::Cursor{};
+    }
+    ok_ = snap.load_into(solver_, cursor_) && ok_;
+  }
 
   // Consult `cache` (shared with other backends and the main check path;
   // may be nullptr) before every solve. Must outlive the backend.
@@ -131,7 +150,7 @@ public:
     last_timed_out_ = false;
     if (!ok_) return SolveStatus::Unsat; // formula UNSAT outright: empty core
     if (cache_ != nullptr) {
-      if (cache_->lookup_unsat(cursor_, assumptions, &core_)) {
+      if (cache_->lookup_unsat(store_id_, cursor_, assumptions, &core_)) {
         ++cache_hits_;
         return SolveStatus::Unsat;
       }
@@ -140,7 +159,7 @@ public:
     try {
       if (solver_.solve(assumptions)) return SolveStatus::Sat;
       core_ = solver_.conflict_assumptions();
-      if (cache_ != nullptr) cache_->insert_unsat(cursor_, assumptions, core_);
+      if (cache_ != nullptr) cache_->insert_unsat(store_id_, cursor_, assumptions, core_);
       return SolveStatus::Unsat;
     } catch (const SolverInterrupted& e) {
       last_timed_out_ = e.reason == SolverInterrupted::Reason::Deadline;
@@ -166,6 +185,7 @@ public:
 private:
   Solver solver_;
   CnfSnapshot::Cursor cursor_;
+  std::uint64_t store_id_ = 0;
   ClauseChannel* channel_ = nullptr;
   unsigned worker_id_ = 0;
   std::size_t channel_cursor_ = 0;

@@ -38,6 +38,38 @@ void write_dimacs(std::ostream& os, const CnfSnapshot& snapshot,
   for (Lit a : assumptions) os << as_dimacs(a) << " 0\n";
 }
 
+void DimacsCache::write(std::ostream& os, const CnfSnapshot& snapshot,
+                        const std::vector<Lit>& assumptions) {
+  const std::uint64_t sid = snapshot.store_id();
+  // A different store, a shrunk clause view, or a shrunk variable range means
+  // the cached body does not describe a prefix of this snapshot. A zero store
+  // id (default-constructed snapshot) is never cached — two empty snapshots
+  // from different origins are indistinguishable by id.
+  if (sid == 0 || sid != store_id_ || snapshot.num_clauses() < clauses_ ||
+      snapshot.num_vars() < vars_) {
+    body_.clear();
+    clauses_ = 0;
+  }
+  if (snapshot.num_clauses() > clauses_) {
+    std::ostringstream delta;
+    snapshot.for_each_clause(clauses_, [&](const std::vector<Lit>& clause) {
+      for (Lit l : clause) delta << as_dimacs(l) << ' ';
+      delta << "0\n";
+    });
+    std::string text = std::move(delta).str();
+    bytes_serialized_ += text.size();
+    body_ += text;
+    clauses_ = snapshot.num_clauses();
+  }
+  store_id_ = sid;
+  vars_ = snapshot.num_vars();
+
+  os << "p cnf " << snapshot.num_vars() << ' ' << snapshot.num_clauses() + assumptions.size()
+     << '\n';
+  os << body_;
+  for (Lit a : assumptions) os << as_dimacs(a) << " 0\n";
+}
+
 bool read_dimacs(std::istream& is, Solver& solver) {
   // Lit packs a variable as 2*v+sign into int32_t, so the largest safe
   // zero-based variable index is (INT32_MAX - 1) / 2.

@@ -4,8 +4,10 @@
 // back for regression testing and replaying archived queries.
 #pragma once
 
+#include <cstdint>
 #include <istream>
 #include <ostream>
+#include <string>
 
 #include "sat/snapshot.h"
 #include "sat/solver.h"
@@ -24,6 +26,31 @@ void write_dimacs(std::ostream& os, const Solver& solver,
 // constructing an in-process solver.
 void write_dimacs(std::ostream& os, const CnfSnapshot& snapshot,
                   const std::vector<Lit>& assumptions = {});
+
+// Incremental serializer for repeated exports of a growing store: caches the
+// serialized clause body and, when asked to write a snapshot of the same
+// store again, serializes only the clauses appended since the cached prefix.
+// The header and assumption units are regenerated per write, so the output is
+// byte-identical to write_dimacs(os, snapshot, assumptions) — asserted by the
+// portfolio fault suite. A different store id (or a shrunk / renumbered view)
+// drops the cache and rebuilds from scratch, so correctness never depends on
+// the caller's sync discipline.
+class DimacsCache {
+public:
+  void write(std::ostream& os, const CnfSnapshot& snapshot,
+             const std::vector<Lit>& assumptions = {});
+
+  // Serialized-clause bytes appended across all writes — total minus reused
+  // lets tests prove the delta path actually engaged.
+  std::uint64_t bytes_serialized() const { return bytes_serialized_; }
+
+private:
+  std::uint64_t store_id_ = 0;
+  int vars_ = 0;
+  std::size_t clauses_ = 0;     // cached prefix length, in clauses
+  std::string body_;            // serialized clause lines for that prefix
+  std::uint64_t bytes_serialized_ = 0;
+};
 
 // Reads a DIMACS CNF instance into `solver`, creating the variables the
 // header declares (the solver must be freshly constructed or at least have

@@ -185,7 +185,7 @@ SolveStatus PipeBackend::solve(const std::vector<Lit>& assumptions) {
   // Stream the query. A child that stops reading (or died) fails the write
   // by deadline/EPIPE — either way it cannot be trusted with this query.
   std::ostringstream dimacs;
-  write_dimacs(dimacs, snap_, assumptions);
+  dimacs_cache_.write(dimacs, snap_, assumptions);
   const std::string text = std::move(dimacs).str();
   if (!child.write_all(text.data(), text.size(), deadline)) {
     last_exit_ = child.terminate(grace);

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "sat/backend.h"
+#include "sat/dimacs.h"
 #include "util/subprocess.h"
 
 namespace upec::sat {
@@ -119,6 +120,11 @@ public:
 private:
   PipeOptions options_;
   CnfSnapshot snap_;
+  // Incremental DIMACS serialization: across the Alg. 1 / Alg. 2 loops the
+  // snapshot grows by a few activation clauses per iteration while every solve
+  // re-sends the whole formula — the cache re-serializes only the delta and
+  // reuses the clause-body bytes for the (large) stable prefix.
+  DimacsCache dimacs_cache_;
   std::vector<LBool> model_;
   std::vector<Lit> core_;
   SolverStats stats_;

@@ -1,8 +1,14 @@
 #include "sat/snapshot.h"
 
+#include <atomic>
 #include <cassert>
 
 namespace upec::sat {
+
+std::uint64_t CnfStore::next_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
 
 Var CnfStore::new_var() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -34,12 +40,19 @@ CnfSnapshot CnfStore::snapshot() const {
   return CnfSnapshot(this, num_vars_, clauses_.size());
 }
 
+std::uint64_t CnfSnapshot::store_id() const { return store_ == nullptr ? 0 : store_->id_; }
+
 void CnfSnapshot::for_each_clause(
     const std::function<void(const std::vector<Lit>&)>& fn) const {
+  for_each_clause(0, fn);
+}
+
+void CnfSnapshot::for_each_clause(
+    std::size_t first, const std::function<void(const std::vector<Lit>&)>& fn) const {
   if (store_ == nullptr) return;
   std::vector<Lit> clause;
   std::lock_guard<std::mutex> lock(store_->mu_);
-  for (std::size_t i = 0; i < num_clauses_; ++i) {
+  for (std::size_t i = first; i < num_clauses_; ++i) {
     const CnfStore::ClauseRange& range = store_->clauses_[i];
     clause.assign(store_->arena_.begin() + range.offset,
                   store_->arena_.begin() + range.offset + range.size);

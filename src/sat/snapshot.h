@@ -36,8 +36,19 @@ public:
   int num_vars() const { return num_vars_; }
   std::size_t num_clauses() const { return num_clauses_; }
 
+  // Identity of the backing store (0 for a default-constructed snapshot).
+  // Two snapshots with equal bounds but different store ids describe
+  // different formulas — consumers that cache per-snapshot state (replay
+  // cursors, serialized DIMACS, verdicts) must key on this.
+  std::uint64_t store_id() const;
+
   // Iterates the snapshot's clauses in emission order.
   void for_each_clause(const std::function<void(const std::vector<Lit>&)>& fn) const;
+
+  // Same, but only clauses in [first, num_clauses). Lets a consumer that
+  // already processed a prefix walk just the delta.
+  void for_each_clause(std::size_t first,
+                       const std::function<void(const std::vector<Lit>&)>& fn) const;
 
   // Replay position of a sink that is being kept in sync with a store.
   struct Cursor {
@@ -78,6 +89,10 @@ public:
 
   std::size_t num_clauses() const;
 
+  // Process-unique, never reused (monotone counter starting at 1). See
+  // CnfSnapshot::store_id().
+  std::uint64_t id() const { return id_; }
+
   // Immutable view of everything emitted so far.
   CnfSnapshot snapshot() const;
 
@@ -89,6 +104,9 @@ private:
     std::uint32_t size;
   };
 
+  static std::uint64_t next_id();
+
+  const std::uint64_t id_ = next_id();
   mutable std::mutex mu_;
   int num_vars_ = 0;
   std::vector<Lit> arena_;

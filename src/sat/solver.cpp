@@ -8,6 +8,37 @@ namespace upec::sat {
 
 Solver::Solver() = default;
 
+void Solver::reset() {
+  ok_ = true;
+  lit_arena_.clear();
+  clauses_.clear();
+  learnts_.clear();
+  watches_.clear();
+  assigns_.clear();
+  model_.clear();
+  phase_.clear();
+  var_info_.clear();
+  activity_.clear();
+  seen_.clear();
+  analyze_stack_.clear();
+  analyze_toclear_.clear();
+  trail_.clear();
+  trail_lim_.clear();
+  qhead_ = 0;
+  heap_.clear();
+  heap_pos_.clear();
+  assumptions_.clear();
+  conflict_.clear();
+  var_inc_ = 1.0;
+  cla_inc_ = 1.0f;
+  import_buf_.clear();
+  lbd_levels_.clear();
+  garbage_lits_ = 0;
+  // Restart the initial-phase stream (set_phase_seed's derivation) so the
+  // rebuilt variable range is phased exactly like a fresh seeded solver.
+  phase_rng_state_ = phase_seed_ == 0 ? 0 : phase_seed_ * 0x9e3779b97f4a7c15ULL + 1;
+}
+
 Var Solver::new_var() {
   const Var v = static_cast<Var>(assigns_.size());
   assigns_.push_back(LBool::Undef);

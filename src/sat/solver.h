@@ -87,6 +87,18 @@ public:
   bool add_clause(const std::vector<Lit>& lits) override;
   using ClauseSink::add_clause;
 
+  // Drops the entire clause database (problem + learnt) and all per-variable
+  // search state, returning the solver to the freshly-constructed state —
+  // except that configuration survives: conflict budget, deadline, cancel
+  // flag, restart unit, phase seed (the initial-phase RNG stream restarts so
+  // variables re-created after the reset get the same polarities a fresh
+  // solver with that seed would give them), sharing hooks, and the learnt-DB
+  // threshold. Cumulative stats_ also survive — a reset is a rebuild step in
+  // one solver's life, not a new solver. Used when a backend's snapshot
+  // switches stores (preprocessing emits each simplified generation into a
+  // fresh CnfStore) and the worker must re-hydrate from scratch.
+  void reset();
+
   // --- Solving ---------------------------------------------------------------
   // Solve under the given assumptions. Clauses persist across calls.
   bool solve(const std::vector<Lit>& assumptions = {});

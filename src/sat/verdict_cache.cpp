@@ -11,30 +11,32 @@ std::vector<Lit> VerdictCache::canonical(const std::vector<Lit>& assumptions) {
   return key;
 }
 
-std::uint64_t VerdictCache::hash_key(const CnfSnapshot::Cursor& cursor,
+std::uint64_t VerdictCache::hash_key(std::uint64_t store_id, const CnfSnapshot::Cursor& cursor,
                                      const std::vector<Lit>& key) {
-  // FNV-1a over (cursor, literal indexes).
+  // FNV-1a over (store id, cursor, literal indexes).
   std::uint64_t h = 1469598103934665603ull;
   auto mix = [&h](std::uint64_t v) {
     h ^= v;
     h *= 1099511628211ull;
   };
+  mix(store_id);
   mix(static_cast<std::uint64_t>(cursor.vars));
   mix(static_cast<std::uint64_t>(cursor.clauses));
   for (Lit l : key) mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(l.index())));
   return h;
 }
 
-bool VerdictCache::lookup_unsat(const CnfSnapshot::Cursor& cursor,
+bool VerdictCache::lookup_unsat(std::uint64_t store_id, const CnfSnapshot::Cursor& cursor,
                                 const std::vector<Lit>& assumptions,
                                 std::vector<Lit>* core_out) {
   const std::vector<Lit> key = canonical(assumptions);
-  const std::uint64_t h = hash_key(cursor, key);
+  const std::uint64_t h = hash_key(store_id, cursor, key);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(h);
   if (it != map_.end()) {
     for (const Entry& e : it->second) {
-      if (e.cursor.vars == cursor.vars && e.cursor.clauses == cursor.clauses && e.key == key) {
+      if (e.store_id == store_id && e.cursor.vars == cursor.vars &&
+          e.cursor.clauses == cursor.clauses && e.key == key) {
         ++hits_;
         if (core_out != nullptr) *core_out = e.core;
         return true;
@@ -45,20 +47,21 @@ bool VerdictCache::lookup_unsat(const CnfSnapshot::Cursor& cursor,
   return false;
 }
 
-void VerdictCache::insert_unsat(const CnfSnapshot::Cursor& cursor,
+void VerdictCache::insert_unsat(std::uint64_t store_id, const CnfSnapshot::Cursor& cursor,
                                 const std::vector<Lit>& assumptions,
                                 const std::vector<Lit>& core) {
   std::vector<Lit> key = canonical(assumptions);
-  const std::uint64_t h = hash_key(cursor, key);
+  const std::uint64_t h = hash_key(store_id, cursor, key);
   std::lock_guard<std::mutex> lock(mu_);
   if (size_ >= max_entries_) return;
   std::vector<Entry>& chain = map_[h];
   for (const Entry& e : chain) {
-    if (e.cursor.vars == cursor.vars && e.cursor.clauses == cursor.clauses && e.key == key) {
+    if (e.store_id == store_id && e.cursor.vars == cursor.vars &&
+        e.cursor.clauses == cursor.clauses && e.key == key) {
       return; // duplicate (two workers raced on the same query)
     }
   }
-  chain.push_back(Entry{cursor, std::move(key), core});
+  chain.push_back(Entry{store_id, cursor, std::move(key), core});
   ++size_;
 }
 

@@ -1,10 +1,14 @@
 // VerdictCache: memoizes UNSAT verdicts of assumption-based queries against
 // a CnfStore prefix.
 //
-// A query is identified by (store cursor, canonicalized assumption set): the
-// cursor pins exactly which clause prefix the answering solver had consumed,
-// and the assumptions are sorted and deduplicated so permuted or repeated
-// assumption vectors hit the same entry. Entries additionally carry the
+// A query is identified by (store id, store cursor, canonicalized assumption
+// set): the store id names *which* formula, the cursor pins exactly which
+// clause prefix the answering solver had consumed, and the assumptions are
+// sorted and deduplicated so permuted or repeated assumption vectors hit the
+// same entry. The store id matters because preprocessing (sat/simplify.h)
+// materializes simplified generations into fresh stores: a simplified store
+// can have the same (vars, clauses) counts as another generation while
+// describing a different clause set, and one shared cache serves them all. Entries additionally carry the
 // final-conflict core (Solver::conflict_assumptions), so a cache hit can
 // feed UNSAT-core frontier pruning exactly like a fresh solve would.
 //
@@ -46,17 +50,17 @@ public:
   VerdictCache(const VerdictCache&) = delete;
   VerdictCache& operator=(const VerdictCache&) = delete;
 
-  // True iff an UNSAT verdict is cached for (cursor, assumptions); fills
-  // `core_out` (when non-null) with the stored final-conflict core. Counts a
-  // hit or a miss.
-  bool lookup_unsat(const CnfSnapshot::Cursor& cursor, const std::vector<Lit>& assumptions,
-                    std::vector<Lit>* core_out);
+  // True iff an UNSAT verdict is cached for (store, cursor, assumptions);
+  // fills `core_out` (when non-null) with the stored final-conflict core.
+  // Counts a hit or a miss.
+  bool lookup_unsat(std::uint64_t store_id, const CnfSnapshot::Cursor& cursor,
+                    const std::vector<Lit>& assumptions, std::vector<Lit>* core_out);
 
   // Records an UNSAT verdict with its core. Idempotent for duplicate keys;
   // silently drops entries once the capacity cap is reached (the cap only
   // bounds memory — a full cache degrades to misses, never to wrong answers).
-  void insert_unsat(const CnfSnapshot::Cursor& cursor, const std::vector<Lit>& assumptions,
-                    const std::vector<Lit>& core);
+  void insert_unsat(std::uint64_t store_id, const CnfSnapshot::Cursor& cursor,
+                    const std::vector<Lit>& assumptions, const std::vector<Lit>& core);
 
   std::uint64_t hits() const;
   std::uint64_t misses() const;
@@ -67,16 +71,18 @@ public:
 
 private:
   struct Entry {
+    std::uint64_t store_id;
     CnfSnapshot::Cursor cursor;
     std::vector<Lit> key;  // canonical assumption set
     std::vector<Lit> core;
   };
 
   static std::vector<Lit> canonical(const std::vector<Lit>& assumptions);
-  static std::uint64_t hash_key(const CnfSnapshot::Cursor& cursor, const std::vector<Lit>& key);
+  static std::uint64_t hash_key(std::uint64_t store_id, const CnfSnapshot::Cursor& cursor,
+                                const std::vector<Lit>& key);
 
   mutable std::mutex mu_;
-  // hash(cursor, canonical assumptions) -> entries (collision chain).
+  // hash(store, cursor, canonical assumptions) -> entries (collision chain).
   std::unordered_map<std::uint64_t, std::vector<Entry>> map_;
   std::size_t max_entries_ = 1u << 16;
   std::size_t size_ = 0;

@@ -26,6 +26,7 @@ void collect_solver_usage(const UpecContext& ctx, SolverUsage& usage) {
     usage.per_worker_cache_hits = ctx.scheduler->worker_cache_hits();
     usage.per_worker_health = ctx.scheduler->worker_health();
     for (std::size_t l : ctx.scheduler->worker_live_learnts()) usage.retained_learnts += l;
+    usage.simplify = ctx.scheduler->simplify_stats();
   }
   // The cache is shared, so its global counters already cover the main
   // solver's and every worker's lookups.

@@ -19,6 +19,7 @@
 #include "ipc/cex.h"
 #include "ipc/engine.h"
 #include "sat/backend.h"
+#include "sat/simplify.h"
 #include "upec/state_sets.h"
 
 namespace upec {
@@ -66,6 +67,11 @@ struct SolverUsage {
   // Per-worker robustness counters (parallel to per_worker; all-zero entries
   // for plain in-proc workers, populated under portfolio/external backends).
   std::vector<sat::BackendHealth> per_worker_health;
+  // Snapshot-preprocessing counters (all zero with preprocessing off or no
+  // scheduler): real simplifications vs generation-cache reuses, eliminated
+  // variables, removed/strengthened clauses, and the last run's formula
+  // shrinkage (see sat/simplify.h).
+  sat::SimplifyStats simplify;
 };
 
 struct Alg1Result {

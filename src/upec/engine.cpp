@@ -33,6 +33,8 @@ UpecContext::UpecContext(const soc::Soc& s, VerifyOptions opts)
     so.external_deadline_ms = options.external_deadline_ms;
     so.supervise = options.supervise;
     so.deadline = run_deadline;
+    so.preprocess = options.preprocess;
+    so.frozen_vars = [this] { return frozen_vars(); };
     scheduler = std::make_unique<ipc::CheckScheduler>(store, std::move(so));
   }
   miter.set_model_source(&solver);
@@ -63,6 +65,25 @@ void UpecContext::touch_probes(unsigned max_frame) {
       miter.inst_b().net_at(f, net);
     }
   }
+}
+
+std::vector<sat::Var> UpecContext::frozen_vars() const {
+  std::vector<sat::Var> out;
+  miter.frozen_vars(out);
+  // Every already-encoded probe image bit, both instances, all frames: the
+  // waveform extractor addresses these by name after a counterexample.
+  for (const std::string& name : waveform_probes()) {
+    const rtlir::NetId net = soc.design->find_output(name);
+    if (net == rtlir::kNullNet) continue;
+    for (const encode::UnrolledInstance* inst : {&miter.inst_a(), &miter.inst_b()}) {
+      for (unsigned f = 0; f < inst->frames_encoded(); ++f) {
+        if (const encode::Bits* bits = inst->find_net(f, net)) {
+          for (encode::Lit l : *bits) out.push_back(l.var());
+        }
+      }
+    }
+  }
+  return out;
 }
 
 Alg1Result verify_2cycle(const soc::Soc& soc, VerifyOptions options, const Alg1Options& alg) {

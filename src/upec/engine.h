@@ -69,6 +69,19 @@ struct VerifyOptions {
   // test_determinism. 1 (default) = off.
   unsigned portfolio = 1;
   std::uint64_t portfolio_seed = 0x5eedULL;
+  // Snapshot-level CNF preprocessing for scheduler workers (sat/simplify.h):
+  // the sweep snapshot is simplified once per store generation — subsumption,
+  // self-subsuming resolution, bounded variable elimination, failed-literal
+  // probing — and every worker hydrates from the simplified view instead of
+  // the raw store. Sound by the frozen-variable contract: everything the
+  // sweeps assume or read back (eq/diff/activation/exempt literals, macro
+  // assumption variables, waveform probe images) is declared frozen through
+  // UpecContext::frozen_vars and survives preprocessing untouched, and all
+  // other rewriting is consequence-only or model-reconstructible. Verdicts,
+  // frontiers and waveforms are bit-identical with preprocessing on or off
+  // (pinned by test_determinism). Inert on the main solver and therefore at
+  // threads == 1 without portfolio/external — only worker hydration changes.
+  bool preprocess = true;
   // External DIMACS solver command raced/consulted per worker under the
   // supervision policy below (sat/supervise.h): per-solve deadline, restart
   // with backoff on crash, quarantine after consecutive failures, graceful
@@ -123,6 +136,14 @@ public:
   // Waveform extraction happens after the solve; any image created later
   // would read back arbitrary values, so probes must be in the CNF up front.
   void touch_probes(unsigned max_frame);
+
+  // The frozen-variable declaration handed to the scheduler's preprocessor
+  // (see sat/simplify.h): the miter's named literals plus every encoded
+  // waveform-probe image bit. Waveform/counterexample extraction runs on the
+  // main (never simplified) solver, so freezing the probe images is defensive
+  // insurance rather than a live dependency — cheap, and it keeps the
+  // contract honest if a future caller reads probes from a worker model.
+  std::vector<sat::Var> frozen_vars() const;
 };
 
 // Convenience wrappers: build a context and run the respective procedure.

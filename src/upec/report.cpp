@@ -54,6 +54,14 @@ void render_solver_usage(std::ostringstream& os, const SolverUsage& usage) {
        << " misses, " << usage.pruned_candidates << " candidates pruned by cores, "
        << usage.retained_learnts << " learnts retained\n";
   }
+  if (usage.simplify.runs != 0) {
+    const sat::SimplifyStats& p = usage.simplify;
+    os << "preprocessing: " << p.runs << " runs / " << p.reuses << " reuses, "
+       << p.eliminated_vars << " vars eliminated, " << p.subsumed_clauses << " subsumed, "
+       << p.strengthened_clauses << " strengthened, " << p.failed_literals
+       << " failed literals, " << p.fixed_vars << " fixed; last run " << p.input_clauses
+       << " -> " << p.output_clauses << " clauses\n";
+  }
   for (std::size_t w = 0; w < usage.per_worker.size(); ++w) {
     const sat::SolverStats& s = usage.per_worker[w];
     os << "  worker " << w << ": " << s.solve_calls << " solves, " << s.conflicts

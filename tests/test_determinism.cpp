@@ -199,6 +199,82 @@ TEST(Determinism, VulnerablePortfolioToggleIdentical) {
   }
 }
 
+VerifyOptions with_preprocess(VerifyOptions options, unsigned threads, bool preprocess) {
+  options.threads = threads;
+  options.preprocess = preprocess;
+  return options;
+}
+
+TEST(Determinism, SecurePreprocessToggleIdenticalAcrossThreadCounts) {
+  // Snapshot preprocessing rewrites only what workers hydrate, under the
+  // frozen-variable contract: every assumed or harvested literal survives
+  // verbatim and all other rewriting is consequence-only. Frontiers and
+  // verdicts therefore cannot react to the toggle or the thread count. The
+  // legacy single-solver run (threads = 1, preprocessing inert) is the
+  // baseline the whole matrix must match.
+  const soc::Soc soc = small_soc();
+  const Alg1Result seq = verify_2cycle(soc, with_preprocess(countermeasure_options(), 1, false));
+  ASSERT_EQ(seq.verdict, Verdict::Secure);
+  for (unsigned threads : {1u, 3u, 4u}) {
+    for (bool preprocess : {false, true}) {
+      const Alg1Result par =
+          verify_2cycle(soc, with_preprocess(countermeasure_options(), threads, preprocess));
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " preprocess=" + std::to_string(preprocess));
+      expect_same_alg1(seq, par);
+      if (preprocess && threads > 1) {
+        // The simplifier really ran, shrank the formula, and never touched a
+        // frozen variable (the soundness tripwire).
+        EXPECT_GE(par.stats.simplify.runs, 1u);
+        EXPECT_GT(par.stats.simplify.eliminated_vars, 0u);
+        EXPECT_EQ(par.stats.simplify.frozen_eliminations, 0u);
+        EXPECT_LT(par.stats.simplify.output_clauses, par.stats.simplify.input_clauses);
+      } else if (threads == 1) {
+        EXPECT_EQ(par.stats.simplify.runs, 0u);  // no scheduler, no preprocessing
+      }
+    }
+  }
+}
+
+TEST(Determinism, VulnerablePreprocessToggleIdentical) {
+  // Same toggle on the vulnerable baseline: SAT-side counterexample
+  // harvesting reads frozen diff literals only, so saturated frontiers must
+  // not react to which model the simplified search happens to find.
+  const soc::Soc soc = small_soc();
+  Alg1Options opts;
+  opts.extract_waveform = false;
+  const Alg1Result seq = verify_2cycle(soc, with_preprocess({}, 1, false), opts);
+  ASSERT_EQ(seq.verdict, Verdict::Vulnerable);
+  for (unsigned threads : {1u, 4u}) {
+    for (bool preprocess : {false, true}) {
+      const Alg1Result par = verify_2cycle(soc, with_preprocess({}, threads, preprocess), opts);
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " preprocess=" + std::to_string(preprocess));
+      expect_same_alg1(seq, par);
+    }
+  }
+}
+
+TEST(Determinism, VulnerableAlg2PreprocessToggleIdentical) {
+  // Alg. 2 grows the store every frame, so each frame forces a fresh
+  // simplified generation and a worker rebuild — the store-identity reset
+  // path. Results must still match the unpreprocessed run exactly.
+  const soc::Soc soc = small_soc();
+  const Alg2Result off = verify_unrolled(soc, with_preprocess(hwpe_scenario_options(soc), 4, false));
+  const Alg2Result on = verify_unrolled(soc, with_preprocess(hwpe_scenario_options(soc), 4, true));
+  ASSERT_EQ(off.verdict, Verdict::Vulnerable);
+  EXPECT_EQ(off.verdict, on.verdict);
+  EXPECT_EQ(off.final_k, on.final_k);
+  ASSERT_EQ(off.steps.size(), on.steps.size());
+  for (std::size_t i = 0; i < off.steps.size(); ++i) {
+    EXPECT_EQ(off.steps[i].k, on.steps[i].k) << "step " << i;
+    EXPECT_EQ(off.steps[i].iteration.removed, on.steps[i].iteration.removed) << "step " << i;
+  }
+  EXPECT_EQ(off.persistent_hits, on.persistent_hits);
+  EXPECT_EQ(off.full_cex, on.full_cex);
+  EXPECT_EQ(on.stats.simplify.frozen_eliminations, 0u);
+}
+
 TEST(Determinism, VulnerableAlg2IdenticalAcrossThreadCounts) {
   const soc::Soc soc = small_soc();
   const Alg2Result seq = verify_unrolled(soc, with_threads(hwpe_scenario_options(soc), 1));

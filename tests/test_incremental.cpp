@@ -38,43 +38,55 @@ TEST(IncrementalSweeps, VerdictCacheHitMissAndCanonicalization) {
   const std::vector<sat::Lit> core = {neg(1)};
 
   std::vector<sat::Lit> got;
-  EXPECT_FALSE(cache.lookup_unsat(cursor, assumptions, &got));
-  cache.insert_unsat(cursor, assumptions, core);
+  EXPECT_FALSE(cache.lookup_unsat(1, cursor, assumptions, &got));
+  cache.insert_unsat(1, cursor, assumptions, core);
   EXPECT_EQ(cache.entries(), 1u);
 
-  ASSERT_TRUE(cache.lookup_unsat(cursor, assumptions, &got));
+  ASSERT_TRUE(cache.lookup_unsat(1, cursor, assumptions, &got));
   EXPECT_EQ(got, core);
   // Permuted and duplicated assumption vectors canonicalize to the same key.
-  ASSERT_TRUE(cache.lookup_unsat(cursor, {neg(1), pos(0), neg(1)}, &got));
+  ASSERT_TRUE(cache.lookup_unsat(1, cursor, {neg(1), pos(0), neg(1)}, &got));
   EXPECT_EQ(got, core);
   // A different assumption set misses.
-  EXPECT_FALSE(cache.lookup_unsat(cursor, {pos(0)}, &got));
+  EXPECT_FALSE(cache.lookup_unsat(1, cursor, {pos(0)}, &got));
 
   EXPECT_EQ(cache.hits(), 2u);
   EXPECT_EQ(cache.misses(), 2u);
   // Duplicate insert is idempotent.
-  cache.insert_unsat(cursor, {neg(1), pos(0)}, core);
+  cache.insert_unsat(1, cursor, {neg(1), pos(0)}, core);
   EXPECT_EQ(cache.entries(), 1u);
 }
 
 TEST(IncrementalSweeps, VerdictCacheCursorAdvanceInvalidates) {
   sat::VerdictCache cache;
   const std::vector<sat::Lit> assumptions = {pos(0)};
-  cache.insert_unsat(sat::CnfSnapshot::Cursor{2, 3}, assumptions, {pos(0)});
+  cache.insert_unsat(1, sat::CnfSnapshot::Cursor{2, 3}, assumptions, {pos(0)});
   // Same assumptions against a grown formula prefix: different key, miss.
-  EXPECT_FALSE(cache.lookup_unsat(sat::CnfSnapshot::Cursor{2, 4}, assumptions, nullptr));
-  EXPECT_FALSE(cache.lookup_unsat(sat::CnfSnapshot::Cursor{3, 3}, assumptions, nullptr));
-  EXPECT_TRUE(cache.lookup_unsat(sat::CnfSnapshot::Cursor{2, 3}, assumptions, nullptr));
+  EXPECT_FALSE(cache.lookup_unsat(1, sat::CnfSnapshot::Cursor{2, 4}, assumptions, nullptr));
+  EXPECT_FALSE(cache.lookup_unsat(1, sat::CnfSnapshot::Cursor{3, 3}, assumptions, nullptr));
+  EXPECT_TRUE(cache.lookup_unsat(1, sat::CnfSnapshot::Cursor{2, 3}, assumptions, nullptr));
+}
+
+TEST(IncrementalSweeps, VerdictCacheStoreIdentitySeparatesFormulas) {
+  // Two stores can present equal (vars, clauses) cursors while holding
+  // different clauses — a simplified generation next to its original, for
+  // example. Entries must never cross between them.
+  sat::VerdictCache cache;
+  const sat::CnfSnapshot::Cursor cursor{2, 3};
+  const std::vector<sat::Lit> assumptions = {pos(0)};
+  cache.insert_unsat(7, cursor, assumptions, {pos(0)});
+  EXPECT_FALSE(cache.lookup_unsat(8, cursor, assumptions, nullptr));
+  EXPECT_TRUE(cache.lookup_unsat(7, cursor, assumptions, nullptr));
 }
 
 TEST(IncrementalSweeps, VerdictCacheCapacityCapDropsNotCorrupts) {
   sat::VerdictCache cache;
   cache.set_max_entries(1);
-  cache.insert_unsat(sat::CnfSnapshot::Cursor{1, 1}, {pos(0)}, {});
-  cache.insert_unsat(sat::CnfSnapshot::Cursor{1, 1}, {pos(1)}, {});
+  cache.insert_unsat(1, sat::CnfSnapshot::Cursor{1, 1}, {pos(0)}, {});
+  cache.insert_unsat(1, sat::CnfSnapshot::Cursor{1, 1}, {pos(1)}, {});
   EXPECT_EQ(cache.entries(), 1u);
-  EXPECT_TRUE(cache.lookup_unsat(sat::CnfSnapshot::Cursor{1, 1}, {pos(0)}, nullptr));
-  EXPECT_FALSE(cache.lookup_unsat(sat::CnfSnapshot::Cursor{1, 1}, {pos(1)}, nullptr));
+  EXPECT_TRUE(cache.lookup_unsat(1, sat::CnfSnapshot::Cursor{1, 1}, {pos(0)}, nullptr));
+  EXPECT_FALSE(cache.lookup_unsat(1, sat::CnfSnapshot::Cursor{1, 1}, {pos(1)}, nullptr));
 }
 
 TEST(IncrementalSweeps, BackendsShareCacheAndReplayCores) {

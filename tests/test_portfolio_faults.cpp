@@ -17,10 +17,12 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdint>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "sat/backend.h"
+#include "sat/dimacs.h"
 #include "sat/fault.h"
 #include "sat/pipe_backend.h"
 #include "sat/portfolio.h"
@@ -203,6 +205,64 @@ TEST(Subprocess, CancelFlagAbortsBlockedReadQuickly) {
   EXPECT_FALSE(child.read_all(out, t0 + std::chrono::seconds(30), 1 << 20));
   EXPECT_LT(util::Subprocess::Clock::now() - t0, std::chrono::seconds(2));
   child.kill_and_reap();
+}
+
+// --- incremental DIMACS serialization (DimacsCache) ----------------------------
+
+TEST(DimacsCache, ByteIdenticalToWriteDimacsAcrossGrowthAndStoreSwitch) {
+  // PipeBackend streams DimacsCache output to the child instead of a fresh
+  // write_dimacs — so the cache's bytes must match write_dimacs exactly on
+  // every path: first serialization, assumption-only re-write, delta append
+  // after store growth, and rebuild after a store switch.
+  const auto uncached = [](const sat::CnfSnapshot& snap, const std::vector<Lit>& assumptions) {
+    std::ostringstream os;
+    sat::write_dimacs(os, snap, assumptions);
+    return std::move(os).str();
+  };
+  const auto cached = [](sat::DimacsCache& cache, const sat::CnfSnapshot& snap,
+                         const std::vector<Lit>& assumptions) {
+    std::ostringstream os;
+    cache.write(os, snap, assumptions);
+    return std::move(os).str();
+  };
+
+  sat::CnfStore store;
+  for (int i = 0; i < 3; ++i) store.new_var();
+  store.add_clause(std::vector<Lit>{Lit(0, false), Lit(1, false)});
+  store.add_clause(std::vector<Lit>{Lit(0, true), Lit(2, false)});
+
+  sat::DimacsCache cache;
+  const sat::CnfSnapshot s1 = store.snapshot();
+  EXPECT_EQ(cached(cache, s1, {}), uncached(s1, {}));
+  const std::uint64_t after_first = cache.bytes_serialized();
+  EXPECT_GT(after_first, 0u);
+
+  // Same snapshot, different assumptions: the clause body is reused verbatim.
+  const std::vector<Lit> assumptions{Lit(1, true), Lit(2, true)};
+  EXPECT_EQ(cached(cache, s1, assumptions), uncached(s1, assumptions));
+  EXPECT_EQ(cache.bytes_serialized(), after_first);
+
+  // Store growth: only the appended clause is serialized, output still exact.
+  store.new_var();
+  store.add_clause(std::vector<Lit>{Lit(2, true), Lit(3, false)});
+  const sat::CnfSnapshot s2 = store.snapshot();
+  const std::string full2 = uncached(s2, assumptions);
+  EXPECT_EQ(cached(cache, s2, assumptions), full2);
+  const std::uint64_t delta = cache.bytes_serialized() - after_first;
+  EXPECT_GT(delta, 0u);
+  EXPECT_LT(delta, after_first);  // strictly less than re-serializing the prefix
+
+  // Store switch (new identity, e.g. a fresh preprocessor generation): the
+  // stale body is dropped and the new formula serialized from scratch.
+  sat::CnfStore other;
+  for (int i = 0; i < 2; ++i) other.new_var();
+  other.add_clause(std::vector<Lit>{Lit(0, false)});
+  other.add_clause(std::vector<Lit>{Lit(1, true)});
+  const sat::CnfSnapshot s3 = other.snapshot();
+  EXPECT_EQ(cached(cache, s3, {}), uncached(s3, {}));
+
+  // And back to the first store: the cache must not resurrect the other body.
+  EXPECT_EQ(cached(cache, s2, assumptions), full2);
 }
 
 // --- PipeBackend end-to-end (self-exec solver) ---------------------------------

@@ -1,0 +1,252 @@
+// sat::Simplifier: SatELite-style preprocessing over CnfSnapshots.
+//
+// The contracts under test (sat/simplify.h):
+//  * equisatisfiability — under assumptions over frozen variables, the
+//    simplified formula answers exactly like the original;
+//  * frozen variables are never eliminated (the soundness tripwire);
+//  * reconstruct() turns any model of the simplified formula into a model of
+//    the original one;
+//  * each technique actually fires on its textbook case;
+//  * simplification is idempotent (a fixed point re-simplifies to itself) and
+//    the generation cache reuses identical requests.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "sat/simplify.h"
+#include "sat/snapshot.h"
+#include "sat/solver.h"
+
+namespace upec::sat {
+namespace {
+
+Lit pos(int v) { return Lit(v, false); }
+Lit neg(int v) { return Lit(v, true); }
+
+void fill(CnfStore& store, int nvars, const std::vector<Clause>& clauses) {
+  for (int v = 0; v < nvars; ++v) store.new_var();
+  for (const Clause& c : clauses) store.add_clause(c);
+}
+
+bool lit_true(const std::vector<bool>& model, Lit l) {
+  return model[static_cast<std::size_t>(l.var())] != l.sign();
+}
+
+bool satisfies(const std::vector<bool>& model, const std::vector<Clause>& clauses) {
+  for (const Clause& c : clauses) {
+    bool sat = false;
+    for (Lit l : c) {
+      if (lit_true(model, l)) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+// Solves a snapshot from scratch; nullopt = UNSAT, otherwise a full model.
+std::optional<std::vector<bool>> solve(const CnfSnapshot& snap,
+                                       const std::vector<Lit>& assumptions = {}) {
+  Solver solver;
+  if (!snap.load_into(solver)) return std::nullopt;
+  if (!solver.solve(assumptions)) return std::nullopt;
+  std::vector<bool> model(static_cast<std::size_t>(snap.num_vars()));
+  for (int v = 0; v < snap.num_vars(); ++v) {
+    model[static_cast<std::size_t>(v)] = solver.model_value(pos(v));
+  }
+  return model;
+}
+
+TEST(Simplify, SubsumptionRemovesSupersetClause) {
+  CnfStore store;
+  fill(store, 3, {{pos(0), pos(1)}, {pos(0), pos(1), pos(2)}});
+  SimplifyOptions opts;
+  opts.bve = false;
+  opts.probing = false;
+  Simplifier simp(opts);
+  simp.simplify(store.snapshot(), {});
+  EXPECT_EQ(simp.stats().subsumed_clauses, 1u);
+  EXPECT_EQ(simp.stats().output_clauses, 1u);
+}
+
+TEST(Simplify, SelfSubsumingResolutionStrengthens) {
+  // C = (a | b), D = (a | ~b | c): the resolvent of C and D on b is (a | c),
+  // which subsumes D — D must be strengthened to (a | c).
+  CnfStore store;
+  fill(store, 3, {{pos(0), pos(1)}, {pos(0), neg(1), pos(2)}});
+  SimplifyOptions opts;
+  opts.bve = false;
+  opts.probing = false;
+  Simplifier simp(opts);
+  simp.simplify(store.snapshot(), {});
+  EXPECT_EQ(simp.stats().strengthened_clauses, 1u);
+  EXPECT_EQ(simp.stats().output_clauses, 2u);
+  EXPECT_EQ(simp.stats().output_literals, 4u);  // (a b), (a c)
+}
+
+TEST(Simplify, FailedLiteralProbingFixesVariable) {
+  // (~a | b), (~a | ~b): assuming a propagates b and ~b — a fails, ~a becomes
+  // a root unit.
+  CnfStore store;
+  fill(store, 2, {{neg(0), pos(1)}, {neg(0), neg(1)}});
+  SimplifyOptions opts;
+  opts.subsumption = false;
+  opts.bve = false;
+  Simplifier simp(opts);
+  const CnfSnapshot view = simp.simplify(store.snapshot(), {0, 1});
+  EXPECT_GE(simp.stats().failed_literals, 1u);
+  EXPECT_GE(simp.stats().fixed_vars, 1u);
+  EXPECT_FALSE(solve(view, {pos(0)}).has_value());  // a now refuted outright
+  EXPECT_TRUE(solve(view, {neg(0)}).has_value());
+}
+
+TEST(Simplify, BveEliminatesGateAndReconstructsModel) {
+  // Tseitin AND gate x = a & b with a, b frozen: every resolvent on x is
+  // tautological, so x is eliminated and the output formula is empty. A model
+  // of the empty output must reconstruct to a model of the gate clauses.
+  const std::vector<Clause> gate = {
+      {neg(2), pos(0)}, {neg(2), pos(1)}, {pos(2), neg(0), neg(1)}};
+  CnfStore store;
+  fill(store, 3, gate);
+  Simplifier simp;
+  simp.simplify(store.snapshot(), {0, 1});
+  EXPECT_EQ(simp.stats().eliminated_vars, 1u);
+  EXPECT_EQ(simp.stats().frozen_eliminations, 0u);
+  EXPECT_EQ(simp.stats().output_clauses, 0u);
+
+  // Try every assignment of the frozen variables: reconstruction must repair
+  // x to match a & b each time.
+  for (bool a : {false, true}) {
+    for (bool b : {false, true}) {
+      std::vector<bool> model = {a, b, false};
+      simp.reconstruct(model);
+      EXPECT_TRUE(satisfies(model, gate)) << "a=" << a << " b=" << b;
+      EXPECT_EQ(model[2], a && b);
+    }
+  }
+}
+
+TEST(Simplify, FrozenVariablesAreNeverEliminated) {
+  const std::vector<Clause> gate = {
+      {neg(2), pos(0)}, {neg(2), pos(1)}, {pos(2), neg(0), neg(1)}};
+  CnfStore store;
+  fill(store, 3, gate);
+  Simplifier simp;
+  simp.simplify(store.snapshot(), {0, 1, 2});
+  EXPECT_EQ(simp.stats().eliminated_vars, 0u);
+  EXPECT_EQ(simp.stats().frozen_eliminations, 0u);
+  EXPECT_EQ(simp.stats().output_clauses, 3u);
+}
+
+TEST(Simplify, GenerationCacheReusesAndInvalidates) {
+  CnfStore store;
+  fill(store, 3, {{pos(0), pos(1)}, {pos(0), pos(1), pos(2)}});
+  Simplifier simp;
+  simp.simplify(store.snapshot(), {0});
+  EXPECT_EQ(simp.stats().runs, 1u);
+  // Same prefix, frozen subset of the cached set: reuse.
+  simp.simplify(store.snapshot(), {});
+  EXPECT_EQ(simp.stats().runs, 1u);
+  EXPECT_EQ(simp.stats().reuses, 1u);
+  // Larger frozen set: must re-run (variable 2 was eligible before).
+  simp.simplify(store.snapshot(), {0, 1, 2});
+  EXPECT_EQ(simp.stats().runs, 2u);
+  // Store growth invalidates.
+  store.add_clause({neg(2)});
+  simp.simplify(store.snapshot(), {0, 1, 2});
+  EXPECT_EQ(simp.stats().runs, 3u);
+}
+
+TEST(Simplify, RefutedFormulaYieldsEmptyClause) {
+  CnfStore store;
+  fill(store, 2, {{pos(0)}, {neg(0), pos(1)}, {neg(0), neg(1)}});
+  Simplifier simp;
+  const CnfSnapshot view = simp.simplify(store.snapshot(), {0, 1});
+  EXPECT_TRUE(simp.output_unsat());
+  EXPECT_FALSE(solve(view).has_value());
+}
+
+// Deterministic random CNF around the 3-SAT phase transition: hard enough
+// that all three techniques fire, small enough to solve exhaustively.
+std::vector<Clause> random_cnf(std::mt19937& rng, int nvars, std::size_t nclauses) {
+  std::uniform_int_distribution<int> var(0, nvars - 1);
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::uniform_int_distribution<int> width(1, 3);
+  std::vector<Clause> out;
+  out.reserve(nclauses);
+  for (std::size_t i = 0; i < nclauses; ++i) {
+    Clause c;
+    const int w = width(rng) == 1 ? 2 : 3;  // mostly ternary, some binary
+    for (int j = 0; j < w; ++j) c.push_back(Lit(var(rng), coin(rng) == 1));
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+TEST(Simplify, RandomCorpusVerdictEquivalenceAndReconstruction) {
+  // For each random formula and each assumption set over frozen variables:
+  // the simplified formula's verdict matches the original's, and a SAT
+  // model — after reconstruct() — satisfies the original formula.
+  std::mt19937 rng(0xC0FFEE);
+  const int nvars = 24;
+  const std::vector<Var> frozen = {0, 1, 2, 3, 4, 5};
+  std::uniform_int_distribution<int> coin(0, 1);
+  for (int round = 0; round < 25; ++round) {
+    const std::vector<Clause> formula = random_cnf(rng, nvars, 95);
+    CnfStore store;
+    fill(store, nvars, formula);
+    const CnfSnapshot original = store.snapshot();
+    Simplifier simp;
+    const CnfSnapshot view = simp.simplify(original, frozen);
+    ASSERT_EQ(simp.stats().frozen_eliminations, 0u);
+
+    for (int trial = 0; trial < 4; ++trial) {
+      std::vector<Lit> assumptions;
+      for (Var v : frozen) {
+        if (trial > 0 && coin(rng) == 1) assumptions.push_back(Lit(v, coin(rng) == 1));
+      }
+      const auto base = solve(original, assumptions);
+      const auto simplified = solve(view, assumptions);
+      ASSERT_EQ(base.has_value(), simplified.has_value())
+          << "round " << round << " trial " << trial;
+      if (!simplified) continue;
+      std::vector<bool> model = *simplified;
+      simp.reconstruct(model);
+      EXPECT_TRUE(satisfies(model, formula)) << "round " << round << " trial " << trial;
+      for (Lit a : assumptions) {
+        EXPECT_TRUE(lit_true(model, a)) << "round " << round << " trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(Simplify, FixedPointIsIdempotent) {
+  // Re-simplifying a simplified formula (same frozen set, fresh Simplifier)
+  // must change nothing: the output is a fixed point of all three techniques.
+  std::mt19937 rng(0x5EED);
+  const std::vector<Var> frozen = {0, 1, 2, 3};
+  for (int round = 0; round < 10; ++round) {
+    const std::vector<Clause> formula = random_cnf(rng, 20, 70);
+    CnfStore store;
+    fill(store, 20, formula);
+    SimplifyOptions opts;
+    opts.max_rounds = 50;  // run all the way to the fixed point
+    Simplifier first(opts);
+    const CnfSnapshot once = first.simplify(store.snapshot(), frozen);
+    if (first.output_unsat()) continue;
+    Simplifier second(opts);
+    second.simplify(once, frozen);
+    EXPECT_EQ(second.stats().eliminated_vars, 0u) << "round " << round;
+    EXPECT_EQ(second.stats().subsumed_clauses, 0u) << "round " << round;
+    EXPECT_EQ(second.stats().strengthened_clauses, 0u) << "round " << round;
+    EXPECT_EQ(second.stats().failed_literals, 0u) << "round " << round;
+    EXPECT_EQ(second.stats().output_clauses, first.stats().output_clauses) << "round " << round;
+    EXPECT_EQ(second.stats().output_literals, first.stats().output_literals) << "round " << round;
+  }
+}
+
+} // namespace
+} // namespace upec::sat
