@@ -45,6 +45,15 @@ std::uint64_t worker_field(const upec::Alg1Result& r,
   return total;
 }
 
+// Compact unified-metrics snapshot for the row (README "Observability"):
+// the aggregate counters only — per-worker/member breakdowns stay in the
+// full JSON report, not the committed bench artifact.
+std::string row_metrics(const upec::Alg1Result& r) {
+  return r.stats.metrics
+      .filtered({"sat.channel.", "sat.simplify.", "sat.solver.total.", "upec."})
+      .to_json();
+}
+
 bool identical_results(const upec::Alg1Result& a, const upec::Alg1Result& b) {
   bool same = a.verdict == b.verdict && a.iterations.size() == b.iterations.size() &&
               a.persistent_hits == b.persistent_hits && a.full_cex == b.full_cex;
@@ -62,6 +71,7 @@ struct Row {
   std::uint64_t exported, imported;
   bool identical;
   const char* verdict;
+  std::string metrics; // of the sharing-on run
 };
 
 } // namespace
@@ -123,6 +133,7 @@ int main(int argc, char** argv) {
       row.imported = worker_field(on, &sat::SolverStats::imported_clauses);
       row.identical = identical_results(t1, on) && identical_results(t1, off);
       row.verdict = verdict_name(on.verdict);
+      row.metrics = row_metrics(on);
       all_identical = all_identical && row.identical;
       rows.push_back(row);
 
@@ -158,13 +169,13 @@ int main(int argc, char** argv) {
                  "\"t1_s\": %.3f, \"t4_off_s\": %.3f, \"t4_on_s\": %.3f, "
                  "\"worker_conflicts_off\": %llu, \"worker_conflicts_on\": %llu, "
                  "\"conflict_reduction\": %.4f, \"exported\": %llu, \"imported\": %llu, "
-                 "\"identical\": %s}%s\n",
+                 "\"identical\": %s, \"metrics\": %s}%s\n",
                  r.pub_words, r.scenario, r.verdict, r.t1_s, r.t4_off_s, r.t4_on_s,
                  static_cast<unsigned long long>(r.conflicts_off),
                  static_cast<unsigned long long>(r.conflicts_on), reduction,
                  static_cast<unsigned long long>(r.exported),
                  static_cast<unsigned long long>(r.imported), r.identical ? "true" : "false",
-                 i + 1 < rows.size() ? "," : "");
+                 r.metrics.c_str(), i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

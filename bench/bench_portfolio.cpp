@@ -38,6 +38,13 @@ upec::VerifyOptions configure(upec::VerifyOptions options, unsigned members, boo
   return options;
 }
 
+// Compact unified-metrics snapshot for the row (README "Observability").
+std::string row_metrics(const upec::Alg1Result& r) {
+  return r.stats.metrics
+      .filtered({"sat.channel.", "sat.simplify.", "sat.solver.total.", "upec."})
+      .to_json();
+}
+
 bool identical_results(const upec::Alg1Result& a, const upec::Alg1Result& b) {
   bool same = a.verdict == b.verdict && a.iterations.size() == b.iterations.size() &&
               a.persistent_hits == b.persistent_hits && a.full_cex == b.full_cex;
@@ -58,6 +65,7 @@ struct Row {
   bool quarantined;
   bool identical;
   const char* verdict;
+  std::string metrics; // of the portfolio run
 };
 
 } // namespace
@@ -127,6 +135,7 @@ int main(int argc, char** argv) {
       row.quarantined = health.quarantined;
       row.identical = identical_results(t1, port) && identical_results(t1, hostile);
       row.verdict = verdict_name(port.verdict);
+      row.metrics = row_metrics(port);
       all_identical = all_identical && row.identical;
       rows.push_back(row);
 
@@ -155,13 +164,14 @@ int main(int argc, char** argv) {
                  "\"t1_s\": %.3f, \"portfolio_s\": %.3f, \"hostile_s\": %.3f, "
                  "\"conflicts_t1\": %llu, \"conflicts_portfolio\": %llu, "
                  "\"external_failures\": %llu, \"degraded_solves\": %llu, "
-                 "\"quarantined\": %s, \"identical\": %s}%s\n",
+                 "\"quarantined\": %s, \"identical\": %s, \"metrics\": %s}%s\n",
                  r.pub_words, r.scenario, r.verdict, r.t1_s, r.port_s, r.hostile_s,
                  static_cast<unsigned long long>(r.conflicts_t1),
                  static_cast<unsigned long long>(r.conflicts_port),
                  static_cast<unsigned long long>(r.external_failures),
                  static_cast<unsigned long long>(r.degraded), r.quarantined ? "true" : "false",
-                 r.identical ? "true" : "false", i + 1 < rows.size() ? "," : "");
+                 r.identical ? "true" : "false", r.metrics.c_str(),
+                 i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

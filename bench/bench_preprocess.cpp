@@ -43,6 +43,13 @@ std::uint64_t total_work(const upec::Alg1Result& r) {
   return r.stats.total.conflicts + r.stats.total.propagations;
 }
 
+// Compact unified-metrics snapshot for the row (README "Observability").
+std::string row_metrics(const upec::Alg1Result& r) {
+  return r.stats.metrics
+      .filtered({"sat.channel.", "sat.simplify.", "sat.solver.total.", "upec."})
+      .to_json();
+}
+
 bool identical_results(const upec::Alg1Result& a, const upec::Alg1Result& b) {
   bool same = a.verdict == b.verdict && a.iterations.size() == b.iterations.size() &&
               a.persistent_hits == b.persistent_hits && a.full_cex == b.full_cex &&
@@ -63,6 +70,7 @@ struct Row {
   bool identical;
   bool frozen_safe;  // zero frozen-variable eliminations
   const char* verdict;
+  std::string metrics; // of the preprocess-on run
 
   double reduction() const {
     if (work_off == 0) return 0.0;
@@ -140,6 +148,7 @@ int main(int argc, char** argv) {
         row.identical = identical_results(t1_base, on) && identical_results(off, on);
         row.frozen_safe = on.stats.simplify.frozen_eliminations == 0;
         row.verdict = verdict_name(on.verdict);
+        row.metrics = row_metrics(on);
         all_identical = all_identical && row.identical;
         frozen_safe = frozen_safe && row.frozen_safe;
         if (sc.gated && row.reduction() < reduction_bar) bar_met = false;
@@ -176,7 +185,7 @@ int main(int argc, char** argv) {
                  "\"work_off\": %llu, \"work_on\": %llu, \"work_reduction\": %.4f, "
                  "\"simplify_runs\": %llu, \"simplify_reuses\": %llu, "
                  "\"eliminated_vars\": %llu, \"subsumed_clauses\": %llu, "
-                 "\"identical\": %s, \"frozen_safe\": %s}%s\n",
+                 "\"identical\": %s, \"frozen_safe\": %s, \"metrics\": %s}%s\n",
                  r.pub_words, r.scenario, r.threads, r.verdict, r.off_s, r.on_s,
                  static_cast<unsigned long long>(r.work_off),
                  static_cast<unsigned long long>(r.work_on), r.reduction(),
@@ -184,7 +193,8 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(r.reuses),
                  static_cast<unsigned long long>(r.eliminated),
                  static_cast<unsigned long long>(r.subsumed), r.identical ? "true" : "false",
-                 r.frozen_safe ? "true" : "false", i + 1 < rows.size() ? "," : "");
+                 r.frozen_safe ? "true" : "false", r.metrics.c_str(),
+                 i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

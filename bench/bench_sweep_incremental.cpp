@@ -45,6 +45,13 @@ std::uint64_t total_work(const upec::Alg1Result& r) {
   return r.stats.total.conflicts + r.stats.total.propagations;
 }
 
+// Compact unified-metrics snapshot for the row (README "Observability").
+std::string row_metrics(const upec::Alg1Result& r) {
+  return r.stats.metrics
+      .filtered({"sat.channel.", "sat.simplify.", "sat.solver.total.", "upec."})
+      .to_json();
+}
+
 bool identical_results(const upec::Alg1Result& a, const upec::Alg1Result& b) {
   bool same = a.verdict == b.verdict && a.iterations.size() == b.iterations.size() &&
               a.persistent_hits == b.persistent_hits && a.full_cex == b.full_cex &&
@@ -64,6 +71,7 @@ struct Row {
   std::uint64_t cache_hits, pruned;
   bool identical;
   const char* verdict;
+  std::string metrics; // of the incremental run
 
   double reduction() const {
     if (work_legacy == 0) return 0.0;
@@ -138,6 +146,7 @@ int main(int argc, char** argv) {
         row.pruned = incr.stats.pruned_candidates;
         row.identical = identical_results(t1_legacy, incr) && identical_results(legacy, incr);
         row.verdict = verdict_name(incr.verdict);
+        row.metrics = row_metrics(incr);
         all_identical = all_identical && row.identical;
         if (sc.gated && row.reduction() < reduction_bar) bar_met = false;
         rows.push_back(row);
@@ -166,13 +175,14 @@ int main(int argc, char** argv) {
                  "    {\"pub_words\": %u, \"scenario\": \"%s\", \"threads\": %u, "
                  "\"verdict\": \"%s\", \"legacy_s\": %.3f, \"incr_s\": %.3f, "
                  "\"work_legacy\": %llu, \"work_incr\": %llu, \"work_reduction\": %.4f, "
-                 "\"cache_hits\": %llu, \"pruned\": %llu, \"identical\": %s}%s\n",
+                 "\"cache_hits\": %llu, \"pruned\": %llu, \"identical\": %s, "
+                 "\"metrics\": %s}%s\n",
                  r.pub_words, r.scenario, r.threads, r.verdict, r.legacy_s, r.incr_s,
                  static_cast<unsigned long long>(r.work_legacy),
                  static_cast<unsigned long long>(r.work_incr), r.reduction(),
                  static_cast<unsigned long long>(r.cache_hits),
                  static_cast<unsigned long long>(r.pruned), r.identical ? "true" : "false",
-                 i + 1 < rows.size() ? "," : "");
+                 r.metrics.c_str(), i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

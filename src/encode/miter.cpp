@@ -3,6 +3,8 @@
 #include <cassert>
 #include <unordered_set>
 
+#include "util/trace.h"
+
 namespace upec::encode {
 
 Miter::Miter(sat::ClauseSink& sink, const rtlir::Design& design, const rtlir::StateVarTable& svt,
@@ -107,6 +109,9 @@ Lit Miter::activation_literal(rtlir::StateVarId sv, unsigned frame) {
 }
 
 void Miter::register_candidates(const std::vector<rtlir::StateVarId>& svs, unsigned frame) {
+  util::trace::Span span("encode.register_candidates", "encode");
+  span.arg("candidates", static_cast<std::uint64_t>(svs.size()));
+  span.arg("frame", std::uint64_t{frame});
   CandidateGroup& group = candidate_groups_[frame];
   std::vector<Lit> fresh_acts;
   for (rtlir::StateVarId sv : svs) {

@@ -1,5 +1,7 @@
 #include "ipc/engine.h"
 
+#include "util/trace.h"
+
 namespace upec::ipc {
 
 encode::Lit make_violation_any(encode::CnfBuilder& cnf,
@@ -26,6 +28,8 @@ CheckResult Engine::check(const BoundedProperty& property) {
 
 CheckResult Engine::check_assumptions(const std::vector<encode::Lit>& assumptions,
                                       std::vector<encode::Lit>* core_out) {
+  util::trace::Span span("solve.main", "solve");
+  span.arg("assumptions", static_cast<std::uint64_t>(assumptions.size()));
   CheckResult result;
   if (core_out != nullptr) core_out->clear();
 

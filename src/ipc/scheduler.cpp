@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "sat/portfolio.h"
+#include "util/trace.h"
 
 namespace upec::ipc {
 
@@ -51,6 +52,11 @@ CheckScheduler::CheckScheduler(sat::CnfStore& store, SchedulerOptions options)
       backend = std::move(b);
     }
     if (options_.deadline) backend->set_deadline(*options_.deadline);
+    if (options_.progress_every != 0 && options_.progress) {
+      backend->set_progress(
+          [cb = options_.progress, w](const sat::SolverProgress& p) { cb(w, p); },
+          options_.progress_every);
+    }
     backends_.push_back(std::move(backend));
   }
 
@@ -66,6 +72,13 @@ std::vector<sat::SolverStats> CheckScheduler::worker_stats() const {
   std::vector<sat::SolverStats> out;
   out.reserve(backends_.size());
   for (const auto& b : backends_) out.push_back(b->stats());
+  return out;
+}
+
+std::vector<std::vector<sat::SolverStats>> CheckScheduler::worker_member_stats() const {
+  std::vector<std::vector<sat::SolverStats>> out;
+  out.reserve(backends_.size());
+  for (const auto& b : backends_) out.push_back(b->member_stats());
   return out;
 }
 
@@ -127,6 +140,10 @@ SweepResult CheckScheduler::sweep_incremental(encode::Miter& miter,
                                               const std::vector<encode::Lit>& assumptions,
                                               const std::vector<rtlir::StateVarId>& candidates,
                                               unsigned frame) {
+  util::trace::Span span("scheduler.sweep", "ipc");
+  span.arg("candidates", static_cast<std::uint64_t>(candidates.size()));
+  span.arg("workers", std::uint64_t{workers()});
+  span.arg("frame", std::uint64_t{frame});
   SweepResult result;
   const auto t0 = std::chrono::steady_clock::now();
   const unsigned W = workers();
@@ -252,6 +269,9 @@ SweepResult CheckScheduler::sweep_legacy(encode::Miter& miter,
                                          const std::vector<encode::Lit>& assumptions,
                                          const std::vector<rtlir::StateVarId>& candidates,
                                          unsigned frame) {
+  util::trace::Span span("scheduler.sweep_legacy", "ipc");
+  span.arg("candidates", static_cast<std::uint64_t>(candidates.size()));
+  span.arg("workers", std::uint64_t{workers()});
   SweepResult result;
   const auto t0 = std::chrono::steady_clock::now();
   const unsigned W = workers();
@@ -280,6 +300,8 @@ SweepResult CheckScheduler::sweep_legacy(encode::Miter& miter,
   };
 
   while (!unknown && any_active()) {
+    util::trace::Span round_span("scheduler.round", "ipc");
+    round_span.arg("round", std::uint64_t{result.rounds});
     ++result.rounds;
     // Single-threaded encoding window: per-chunk activation literals for the
     // disjunction of the chunk's still-unresolved diff literals.

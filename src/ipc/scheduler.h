@@ -151,6 +151,12 @@ struct SchedulerOptions {
   // so the provider only covers what the encode/upec layers know about
   // (Miter::frozen_vars / UpecContext::frozen_vars).
   std::function<std::vector<sat::Var>()> frozen_vars;
+  // Progress heartbeat: every `progress_every` conflicts each worker's
+  // in-proc solver(s) invoke `progress` with the worker index. The callback
+  // fires on worker (and portfolio racer) threads concurrently — it must be
+  // thread-safe. 0 disables. Purely observational (Solver::SolverProgress).
+  std::uint64_t progress_every = 0;
+  std::function<void(unsigned worker, const sat::SolverProgress&)> progress;
 };
 
 class CheckScheduler {
@@ -178,6 +184,10 @@ public:
 
   // Cumulative per-worker statistics (for report breakdowns).
   std::vector<sat::SolverStats> worker_stats() const;
+  // Per-worker member breakdown: worker w's entry lists one SolverStats per
+  // portfolio participant, summing exactly to worker_stats()[w]; empty for
+  // single-solver workers (see SolverBackend::member_stats).
+  std::vector<std::vector<sat::SolverStats>> worker_member_stats() const;
   std::vector<std::uint64_t> worker_cache_hits() const;
   std::vector<std::size_t> worker_live_learnts() const;
   // Per-worker robustness counters (all-zero entries for plain in-proc

@@ -15,10 +15,20 @@
 #include "sat/snapshot.h"
 #include "sat/solver.h"
 #include "sat/verdict_cache.h"
+#include "util/trace.h"
 
 namespace upec::sat {
 
 enum class SolveStatus : std::uint8_t { Sat, Unsat, Unknown };
+
+inline const char* to_string(SolveStatus s) {
+  switch (s) {
+  case SolveStatus::Sat: return "sat";
+  case SolveStatus::Unsat: return "unsat";
+  case SolveStatus::Unknown: return "unknown";
+  }
+  return "unknown";
+}
 
 // Robustness counters for supervised / portfolio backends: how often the
 // endpoint answered, failed, was restarted, timed out, fell back to the
@@ -91,6 +101,16 @@ public:
 
   // Robustness counters (see BackendHealth). Zeros for plain backends.
   virtual BackendHealth health() const { return {}; }
+
+  // Per-member breakdown for composite backends (portfolio): one SolverStats
+  // per participant, summing exactly to stats(). Empty for single-solver
+  // backends — callers treat that as "stats() is the only participant".
+  virtual std::vector<SolverStats> member_stats() const { return {}; }
+
+  // Installs a progress heartbeat on every in-proc solver this backend owns
+  // (see Solver::set_progress_hook). External children have no hook; their
+  // lifecycles are traced instead. Default: no-op.
+  virtual void set_progress(ProgressHook /*hook*/, std::uint64_t /*every_conflicts*/) {}
 };
 
 // In-process backend: owns a from-scratch CDCL solver kept in sync with the
@@ -129,6 +149,8 @@ public:
   // clause is a consequence of the original formula, so anything learnt from
   // one generation is implied by every other.
   void sync(const CnfSnapshot& snap) override {
+    util::trace::Span span("sync.inproc", "sat");
+    span.arg("store", snap.store_id());
     if (snap.store_id() != store_id_) {
       if (store_id_ != 0) {
         solver_.reset();
@@ -146,6 +168,34 @@ public:
   void set_verdict_cache(VerdictCache* cache) { cache_ = cache; }
 
   SolveStatus solve(const std::vector<Lit>& assumptions) override {
+    util::trace::Span span("solve.inproc", "solve");
+    const std::uint64_t conflicts_before = solver_.stats().conflicts;
+    const SolveStatus status = solve_impl(assumptions);
+    span.arg("status", to_string(status));
+    span.arg("conflicts", solver_.stats().conflicts - conflicts_before);
+    return status;
+  }
+
+  const std::vector<Lit>& unsat_core() const override { return core_; }
+
+  bool model_value(Lit l) const override { return solver_.model_value(l); }
+  const SolverStats& stats() const override { return solver_.stats(); }
+  std::uint64_t cache_hits() const override { return cache_hits_; }
+  std::uint64_t cache_misses() const override { return cache_misses_; }
+  std::size_t live_learnts() const override { return solver_.num_learnts(); }
+
+  void set_deadline(std::chrono::steady_clock::time_point t) override { solver_.set_deadline(t); }
+  void clear_deadline() override { solver_.clear_deadline(); }
+  bool last_timed_out() const override { return last_timed_out_; }
+  void set_progress(ProgressHook hook, std::uint64_t every_conflicts) override {
+    solver_.set_progress_hook(std::move(hook), every_conflicts);
+  }
+
+  Solver& solver() { return solver_; }
+  const Solver& solver() const { return solver_; }
+
+private:
+  SolveStatus solve_impl(const std::vector<Lit>& assumptions) {
     core_.clear();
     last_timed_out_ = false;
     if (!ok_) return SolveStatus::Unsat; // formula UNSAT outright: empty core
@@ -167,22 +217,6 @@ public:
     }
   }
 
-  const std::vector<Lit>& unsat_core() const override { return core_; }
-
-  bool model_value(Lit l) const override { return solver_.model_value(l); }
-  const SolverStats& stats() const override { return solver_.stats(); }
-  std::uint64_t cache_hits() const override { return cache_hits_; }
-  std::uint64_t cache_misses() const override { return cache_misses_; }
-  std::size_t live_learnts() const override { return solver_.num_learnts(); }
-
-  void set_deadline(std::chrono::steady_clock::time_point t) override { solver_.set_deadline(t); }
-  void clear_deadline() override { solver_.clear_deadline(); }
-  bool last_timed_out() const override { return last_timed_out_; }
-
-  Solver& solver() { return solver_; }
-  const Solver& solver() const { return solver_; }
-
-private:
   Solver solver_;
   CnfSnapshot::Cursor cursor_;
   std::uint64_t store_id_ = 0;

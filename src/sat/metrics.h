@@ -1,0 +1,33 @@
+// Adapters between the sat layer's typed stats structs and the unified
+// util::MetricsSnapshot registry (util/metrics.h).
+//
+// Naming convention: the adapters emit *unprefixed* leaf names (`conflicts`,
+// `health.timeouts`, ...); the aggregation point prefixes each component's
+// snapshot into the run-level registry via merge_prefixed — e.g.
+// `sat.solver.w3.` + `conflicts`. This keeps one component's serialization
+// in one place while the hierarchy stays a call-site concern.
+#pragma once
+
+#include <string>
+
+#include "sat/backend.h"
+#include "sat/simplify.h"
+#include "sat/solver.h"
+#include "util/metrics.h"
+
+namespace upec::sat {
+
+// SolverStats <-> snapshot. Every field is a counter; round-trips exactly.
+void append_metrics(util::MetricsSnapshot& out, const SolverStats& stats);
+SolverStats solver_stats_from_metrics(const util::MetricsSnapshot& snap,
+                                      const std::string& prefix = "");
+
+// SimplifyStats: activity fields are counters; last-run formula sizes are
+// gauges; `seconds` becomes the `wall_us` counter (integral microseconds).
+void append_metrics(util::MetricsSnapshot& out, const SimplifyStats& stats);
+
+// BackendHealth (call-site prefix, e.g. `sat.health.w3.`); `quarantined` is
+// a 0/1 gauge, everything else counters.
+void append_metrics(util::MetricsSnapshot& out, const BackendHealth& health);
+
+} // namespace upec::sat

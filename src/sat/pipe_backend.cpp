@@ -12,6 +12,7 @@
 
 #include "sat/dimacs.h"
 #include "sat/fault.h"
+#include "util/trace.h"
 
 namespace upec::sat {
 
@@ -156,6 +157,8 @@ PipeBackend::PipeBackend(PipeOptions options) : options_(std::move(options)) {
 }
 
 SolveStatus PipeBackend::solve(const std::vector<Lit>& assumptions) {
+  util::trace::Span span("solve.external", "solve");
+  span.arg("assumptions", static_cast<std::uint64_t>(assumptions.size()));
   ++stats_.solve_calls;
   model_.clear();
   core_.clear();

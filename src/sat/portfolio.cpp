@@ -67,6 +67,8 @@ void PortfolioBackend::set_verdict_cache(VerdictCache* cache) {
 }
 
 SolveStatus PortfolioBackend::solve(const std::vector<Lit>& assumptions) {
+  util::trace::Span span("portfolio.race", "portfolio");
+  span.arg("members", static_cast<std::uint64_t>(all_.size()));
   ++health_.solves;
   last_timed_out_ = false;
   winner_ = -1;
@@ -96,6 +98,8 @@ SolveStatus PortfolioBackend::solve(const std::vector<Lit>& assumptions) {
   }
 
   winner_ = winner.load(std::memory_order_relaxed);
+  span.arg("winner",
+           winner_ >= 0 ? std::to_string(winner_) : std::string("none"));
   if (winner_ < 0) {
     // Nobody answered: budgets/deadlines all around. Timed-out only if some
     // member actually hit the wall clock (losers cancelled by a winner can't
@@ -151,6 +155,17 @@ BackendHealth PortfolioBackend::health() const {
   BackendHealth h = health_;
   if (external_) h += external_->health();
   return h;
+}
+
+std::vector<SolverStats> PortfolioBackend::member_stats() const {
+  std::vector<SolverStats> out;
+  out.reserve(all_.size());
+  for (const SolverBackend* b : all_) out.push_back(b->stats());
+  return out;
+}
+
+void PortfolioBackend::set_progress(ProgressHook hook, std::uint64_t every_conflicts) {
+  for (auto& m : members_) m->set_progress(hook, every_conflicts);
 }
 
 } // namespace upec::sat

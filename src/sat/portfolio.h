@@ -66,6 +66,12 @@ public:
   void clear_deadline() override;
   bool last_timed_out() const override { return last_timed_out_; }
   BackendHealth health() const override;
+  // One entry per participant (in-proc members, then the external racer),
+  // summing exactly to stats() — the report's member breakdown.
+  std::vector<SolverStats> member_stats() const override;
+  // Forwards the heartbeat to every in-proc member. The external child has
+  // no hook; its lifecycle shows up in the trace instead.
+  void set_progress(ProgressHook hook, std::uint64_t every_conflicts) override;
 
   void set_verdict_cache(VerdictCache* cache);
 

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "util/trace.h"
+
 namespace upec::sat {
 
 namespace {
@@ -477,9 +479,11 @@ Simplifier::Simplifier(SimplifyOptions options) : options_(options) {}
 Simplifier::~Simplifier() = default;
 
 CnfSnapshot Simplifier::simplify(const CnfSnapshot& snap, const std::vector<Var>& frozen) {
+  util::trace::Span span("simplify.run", "simplify");
   const std::uint64_t sid = snap.store_id();
   const int nvars = snap.num_vars();
   const std::size_t nclauses = snap.num_clauses();
+  span.arg("input_clauses", static_cast<std::uint64_t>(nclauses));
 
   // Generation cache: same input prefix and a frozen set covered by the
   // cached one — reuse. (A frozen set may shrink across Alg. 1 iterations as
@@ -498,6 +502,7 @@ CnfSnapshot Simplifier::simplify(const CnfSnapshot& snap, const std::vector<Var>
     }
     if (covered) {
       ++stats_.reuses;
+      span.arg("reused", std::uint64_t{1});
       return out_->snapshot();
     }
   }

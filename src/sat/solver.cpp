@@ -583,6 +583,19 @@ bool Solver::solve(const std::vector<Lit>& assumptions) {
         cancel_until(0);
         throw SolverInterrupted{SolverInterrupted::Reason::Deadline};
       }
+      if (progress_every_ != 0 && stats_.conflicts % progress_every_ == 0) {
+        SolverProgress p;
+        p.conflicts = stats_.conflicts;
+        p.restarts = stats_.restarts;
+        p.learnts = learnts_.size();
+        if (deadline_) {
+          p.deadline_remaining_ms =
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  *deadline_ - std::chrono::steady_clock::now())
+                  .count();
+        }
+        progress_hook_(p);
+      }
       if (decision_level() == 0) {
         // Conflict independent of assumptions: formula is UNSAT outright.
         ok_ = false;

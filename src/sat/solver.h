@@ -67,6 +67,20 @@ inline SolverStats operator-(SolverStats a, const SolverStats& b) {
   return a;
 }
 
+// Periodic progress heartbeat, surfaced every N conflicts through the hook
+// installed with set_progress_hook(). Purely observational: the solver's
+// search is identical with or without a hook installed (the deadline
+// remaining is *sampled* for the report, never branched on here).
+struct SolverProgress {
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learnts = 0; // live learnt clauses right now
+  // Milliseconds until the installed deadline fires; negative once past it;
+  // nullopt when no deadline is installed.
+  std::optional<std::int64_t> deadline_remaining_ms;
+};
+using ProgressHook = std::function<void(const SolverProgress&)>;
+
 // A learnt clause in transit between solvers (see sat/share.h). The LBD rides
 // along so the importer can slot the clause into its reduce_db policy without
 // recomputing glue against levels it never saw.
@@ -166,6 +180,15 @@ public:
   void set_phase_seed(std::uint64_t seed) {
     phase_seed_ = seed;
     phase_rng_state_ = seed * 0x9e3779b97f4a7c15ULL + 1;
+  }
+
+  // Progress heartbeat: invoke `hook` whenever the cumulative conflict count
+  // is a multiple of `every_conflicts` (0 or an empty hook disarms it). The
+  // hook runs on the solving thread, inside the conflict loop — keep it
+  // cheap and never let it touch the solver. Survives reset().
+  void set_progress_hook(ProgressHook hook, std::uint64_t every_conflicts) {
+    progress_hook_ = std::move(hook);
+    progress_every_ = progress_hook_ ? every_conflicts : 0;
   }
 
   bool okay() const { return ok_; }
@@ -319,6 +342,10 @@ private:
   std::uint32_t export_size_cap_ = 0;
   ImportHook import_hook_;
   std::vector<SharedClause> import_buf_;
+
+  // Progress heartbeat (inert unless installed).
+  ProgressHook progress_hook_;
+  std::uint64_t progress_every_ = 0;
 
   std::vector<int> lbd_levels_;     // scratch for the per-conflict LBD count
   std::size_t garbage_lits_ = 0;    // arena literals held by deleted clauses

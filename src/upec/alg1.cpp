@@ -1,7 +1,11 @@
 #include "upec/alg1.h"
 
+#include <string>
+
+#include "sat/metrics.h"
 #include "upec/engine.h"
 #include "upec/sweep.h"
+#include "util/trace.h"
 
 namespace upec {
 
@@ -15,32 +19,81 @@ const char* verdict_name(Verdict v) {
 }
 
 void collect_solver_usage(const UpecContext& ctx, SolverUsage& usage) {
-  usage.total = ctx.solver.stats();
-  usage.per_worker.clear();
-  usage.per_worker_cache_hits.clear();
-  usage.per_worker_health.clear();
+  usage = SolverUsage{};
+
+  // Every aggregate below is a registry merge (util/metrics.h: counters sum,
+  // gauges max) over per-component snapshots — there is exactly one place
+  // that defines how main + workers + portfolio members add up, and both
+  // `total` and `per_worker` are *derived* from the merged registry.
+  util::MetricsSnapshot main_m;
+  sat::append_metrics(main_m, ctx.solver.stats());
+  util::MetricsSnapshot total_m = main_m;
+  usage.metrics.merge_prefixed("sat.solver.main.", main_m);
   usage.retained_learnts = ctx.solver.num_learnts();
+
   if (ctx.scheduler) {
-    usage.per_worker = ctx.scheduler->worker_stats();
-    for (const sat::SolverStats& w : usage.per_worker) usage.total += w;
+    const std::vector<sat::SolverStats> worker_stats = ctx.scheduler->worker_stats();
+    usage.per_worker_members = ctx.scheduler->worker_member_stats();
     usage.per_worker_cache_hits = ctx.scheduler->worker_cache_hits();
     usage.per_worker_health = ctx.scheduler->worker_health();
-    for (std::size_t l : ctx.scheduler->worker_live_learnts()) usage.retained_learnts += l;
+    const std::vector<std::size_t> live = ctx.scheduler->worker_live_learnts();
+    const unsigned W = ctx.scheduler->workers();
+    usage.per_worker.reserve(W);
+    for (unsigned w = 0; w < W; ++w) {
+      const std::string wp = "sat.solver.w" + std::to_string(w) + ".";
+      util::MetricsSnapshot wm;
+      const std::vector<sat::SolverStats>& members = usage.per_worker_members[w];
+      if (members.empty()) {
+        sat::append_metrics(wm, worker_stats[w]);
+      } else {
+        for (std::size_t m = 0; m < members.size(); ++m) {
+          util::MetricsSnapshot mm;
+          sat::append_metrics(mm, members[m]);
+          usage.metrics.merge_prefixed(wp + "m" + std::to_string(m) + ".", mm);
+          wm.merge(mm);
+        }
+      }
+      usage.per_worker.push_back(sat::solver_stats_from_metrics(wm));
+      usage.metrics.merge_prefixed(wp, wm);
+      total_m.merge(wm);
+
+      util::MetricsSnapshot hm;
+      sat::append_metrics(hm, usage.per_worker_health[w]);
+      usage.metrics.merge_prefixed("sat.health.w" + std::to_string(w) + ".", hm);
+      usage.retained_learnts += live[w];
+    }
     usage.simplify = ctx.scheduler->simplify_stats();
+    usage.metrics.add_counter("sat.channel.published", ctx.scheduler->shared_clauses());
   }
+  usage.total = sat::solver_stats_from_metrics(total_m);
+  usage.metrics.merge_prefixed("sat.solver.total.", total_m);
+
   // The cache is shared, so its global counters already cover the main
   // solver's and every worker's lookups.
   usage.cache_hits = ctx.verdict_cache.hits();
   usage.cache_misses = ctx.verdict_cache.misses();
   usage.pruned_candidates = ctx.pruner.total_pruned();
+  usage.metrics.add_counter("upec.cache.hits", usage.cache_hits);
+  usage.metrics.add_counter("upec.cache.misses", usage.cache_misses);
+  usage.metrics.add_counter("upec.sweep.pruned_candidates", usage.pruned_candidates);
+  usage.metrics.set_gauge("upec.sweep.retained_learnts", usage.retained_learnts);
+  usage.metrics.add_counter("sat.channel.exported", usage.total.exported_clauses);
+  usage.metrics.add_counter("sat.channel.imported", usage.total.imported_clauses);
+  util::MetricsSnapshot sm;
+  sat::append_metrics(sm, usage.simplify);
+  usage.metrics.merge_prefixed("sat.simplify.", sm);
 }
 
 Alg1Result run_alg1(UpecContext& ctx, const Alg1Options& options) {
+  util::trace::Span run_span("alg1.run", "upec");
   Alg1Result result;
   StateSet S = options.initial_s ? *options.initial_s : s_not_victim(ctx.svt);
   if (options.extract_waveform) ctx.touch_probes(1);
 
   for (unsigned iter = 0; iter < options.max_iterations; ++iter) {
+    util::trace::Span iter_span("alg1.iteration", "upec");
+    iter_span.arg("iteration", std::uint64_t{iter});
+    iter_span.arg("s_size", static_cast<std::uint64_t>(S.size()));
     IterationLog log;
     log.s_size = S.size();
 

@@ -21,6 +21,7 @@
 #include "sat/backend.h"
 #include "sat/simplify.h"
 #include "upec/state_sets.h"
+#include "util/metrics.h"
 
 namespace upec {
 
@@ -52,8 +53,15 @@ struct IterationLog {
 // solver plus, under threads > 1, every scheduler worker. Reports aggregate
 // `total` and can break down `per_worker`.
 struct SolverUsage {
+  // Derived from `metrics` below: the sum of the main solver and every
+  // worker (which in turn is the sum of its portfolio members). All
+  // aggregation is routed through MetricsSnapshot::merge in
+  // collect_solver_usage — nothing sums stats ad hoc anymore.
   sat::SolverStats total;
   std::vector<sat::SolverStats> per_worker;  // empty when no scheduler ran
+  // Worker w's portfolio-member breakdown (parallel to per_worker; empty
+  // inner vector = single-solver worker). Members sum to per_worker[w].
+  std::vector<std::vector<sat::SolverStats>> per_worker_members;
   // Incremental-sweep counters (all zero with the features off): shared
   // verdict-cache traffic (main solver + workers), candidates pruned via
   // recorded UNSAT cores, and the learnt clauses still live in the solvers
@@ -72,6 +80,12 @@ struct SolverUsage {
   // variables, removed/strengthened clauses, and the last run's formula
   // shrinkage (see sat/simplify.h).
   sat::SimplifyStats simplify;
+  // The unified named-counter registry for the run: per-component snapshots
+  // under `sat.solver.main.`, `sat.solver.w<k>.`, `sat.solver.w<k>.m<j>.`,
+  // their merge under `sat.solver.total.`, plus `upec.*`, `sat.channel.*`,
+  // `sat.simplify.*`, and `sat.health.w<k>.*`. Counter naming and merge
+  // conventions: README "Observability".
+  util::MetricsSnapshot metrics;
 };
 
 struct Alg1Result {

@@ -2,10 +2,12 @@
 
 #include "upec/engine.h"
 #include "upec/sweep.h"
+#include "util/trace.h"
 
 namespace upec {
 
 Alg2Result run_alg2(UpecContext& ctx, const Alg2Options& options) {
+  util::trace::Span run_span("alg2.run", "upec");
   Alg2Result result;
 
   // S[0], S[1] ← S_¬victim; S[0] never changes (the victim's influence at the
@@ -18,6 +20,9 @@ Alg2Result run_alg2(UpecContext& ctx, const Alg2Options& options) {
   const std::vector<rtlir::StateVarId> s0_members = S[0].to_vector();
 
   for (unsigned iter = 0; iter < options.max_iterations; ++iter) {
+    util::trace::Span step_span("alg2.step", "upec");
+    step_span.arg("iteration", std::uint64_t{iter});
+    step_span.arg("k", std::uint64_t{k});
     Alg2StepLog step;
     step.k = k;
     step.iteration.s_size = S[k].size();

@@ -2,9 +2,36 @@
 
 namespace upec {
 
+namespace {
+
+// Fan-in for every solver's heartbeat: sample into the armed trace (as a
+// counter track per source) and forward to the user callback. Purely
+// observational on the solving thread — never touches the solver.
+void relay_progress(const std::function<void(const ProgressEvent&)>& cb,
+                    const std::string& source, const sat::SolverProgress& p) {
+  if (util::trace::enabled()) {
+    util::trace::counter("solver." + source + ".conflicts", p.conflicts);
+    util::trace::counter("solver." + source + ".learnts", p.learnts);
+  }
+  if (cb) {
+    ProgressEvent ev;
+    ev.source = source;
+    ev.conflicts = p.conflicts;
+    ev.restarts = p.restarts;
+    ev.learnts = p.learnts;
+    ev.deadline_remaining_ms = p.deadline_remaining_ms;
+    cb(ev);
+  }
+}
+
+} // namespace
+
 UpecContext::UpecContext(const soc::Soc& s, VerifyOptions opts)
     : soc(s),
       options(std::move(opts)),
+      trace_session(options.trace_path.empty()
+                        ? nullptr
+                        : std::make_unique<util::trace::TraceSession>(options.trace_path)),
       svt(*s.design),
       store(),
       solver(),
@@ -35,6 +62,12 @@ UpecContext::UpecContext(const soc::Soc& s, VerifyOptions opts)
     so.deadline = run_deadline;
     so.preprocess = options.preprocess;
     so.frozen_vars = [this] { return frozen_vars(); };
+    if (options.progress_conflicts > 0) {
+      so.progress_every = options.progress_conflicts;
+      so.progress = [cb = options.progress](unsigned w, const sat::SolverProgress& p) {
+        relay_progress(cb, "w" + std::to_string(w), p);
+      };
+    }
     scheduler = std::make_unique<ipc::CheckScheduler>(store, std::move(so));
   }
   miter.set_model_source(&solver);
@@ -42,6 +75,13 @@ UpecContext::UpecContext(const soc::Soc& s, VerifyOptions opts)
       [this](encode::Miter& m, rtlir::StateVarId sv) { return macros.exempt_for(m, sv); });
   solver.set_conflict_budget(options.conflict_budget);
   if (run_deadline) solver.set_deadline(*run_deadline);
+  if (options.progress_conflicts > 0) {
+    solver.set_progress_hook(
+        [cb = options.progress](const sat::SolverProgress& p) {
+          relay_progress(cb, "main", p);
+        },
+        options.progress_conflicts);
+  }
   if (options.verdict_cache) engine.set_verdict_cache(&verdict_cache, &store);
 
   StateSet base = pers.s_pers();
@@ -57,6 +97,8 @@ std::vector<std::string> UpecContext::waveform_probes() const {
 }
 
 void UpecContext::touch_probes(unsigned max_frame) {
+  util::trace::Span span("encode.touch_probes", "encode");
+  span.arg("max_frame", std::uint64_t{max_frame});
   for (const std::string& name : waveform_probes()) {
     const rtlir::NetId net = soc.design->find_output(name);
     if (net == rtlir::kNullNet) continue;

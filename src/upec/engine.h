@@ -10,6 +10,7 @@
 
 #include "encode/miter.h"
 #include "ipc/engine.h"
+#include "util/trace.h"
 #include "ipc/scheduler.h"
 #include "sat/snapshot.h"
 #include "soc/pulpissimo.h"
@@ -20,6 +21,20 @@
 #include "upec/persistence.h"
 
 namespace upec {
+
+// One solver-progress heartbeat (see VerifyOptions::progress_conflicts).
+struct ProgressEvent {
+  // "main" for the main solver, "w<k>" for scheduler worker k. Portfolio
+  // members report under their host worker's label — member-level
+  // attribution lives in the trace and the metrics registry instead.
+  std::string source;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learnts = 0; // live learnt clauses at the sample
+  // Milliseconds until the run deadline; negative once past it; nullopt
+  // when the run has no deadline.
+  std::optional<std::int64_t> deadline_remaining_ms;
+};
 
 struct VerifyOptions {
   MacroConfig macros;
@@ -90,6 +105,23 @@ struct VerifyOptions {
   std::vector<std::string> external_solver;
   std::uint32_t external_deadline_ms = 10'000;
   sat::SuperviseOptions supervise;
+  // --- Observability (all verdict-inert; README "Observability") -----------
+  // When non-empty, the context arms a util::trace session at construction
+  // and writes a Chrome trace-event JSON file here when the context is
+  // destroyed (Perfetto / chrome://tracing loadable): spans for encoding,
+  // simplifier runs, snapshot hydration, sweeps, every backend solve,
+  // subprocess lifecycles, and portfolio races. Tracing only records —
+  // verdicts, frontiers, and waveforms are bit-identical with it on or off
+  // (pinned by test_determinism).
+  std::string trace_path;
+  // Progress heartbeat: every `progress_conflicts` conflicts each in-proc
+  // solver (main, workers, portfolio members) reports a ProgressEvent
+  // through `progress`, and — when tracing — as `solver.<source>.conflicts`
+  // counter samples in the trace. The callback fires on solving threads,
+  // concurrently at threads/portfolio > 1: it must be thread-safe and stay
+  // cheap. 0 (default) = off.
+  std::uint64_t progress_conflicts = 0;
+  std::function<void(const ProgressEvent&)> progress;
 };
 
 class UpecContext {
@@ -98,6 +130,12 @@ public:
 
   const soc::Soc& soc;
   VerifyOptions options;
+  // Armed from options.trace_path (null when tracing is off). Declared
+  // before every recording member and especially before `scheduler`:
+  // members destruct in reverse order, so the session's flush-on-destroy
+  // runs strictly after the scheduler joined its workers — no recorder can
+  // race the flush.
+  std::unique_ptr<util::trace::TraceSession> trace_session;
   rtlir::StateVarTable svt;
   // Shared clause database: everything the encode layer emits is recorded
   // here (through `sink`) so scheduler workers — and DIMACS exports — can be

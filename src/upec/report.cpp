@@ -74,6 +74,17 @@ void render_solver_usage(std::ostringstream& os, const SolverUsage& usage) {
       os << ", " << usage.per_worker_cache_hits[w] << " cache hits";
     }
     os << "\n";
+    // Portfolio-member breakdown: the members' counters sum to the worker
+    // line above (collect_solver_usage derives the worker from the members
+    // through one registry merge, so this is an identity, not a re-count).
+    if (w < usage.per_worker_members.size() && !usage.per_worker_members[w].empty()) {
+      for (std::size_t m = 0; m < usage.per_worker_members[w].size(); ++m) {
+        const sat::SolverStats& ms = usage.per_worker_members[w][m];
+        os << "    member " << m << ": " << ms.solve_calls << " solves, " << ms.conflicts
+           << " conflicts, " << ms.decisions << " decisions, " << ms.propagations
+           << " propagations, " << ms.learned_clauses << " learned\n";
+      }
+    }
     // Robustness counters only exist under portfolio / external backends;
     // plain in-proc workers report an all-zero BackendHealth and get no line.
     if (w < usage.per_worker_health.size()) {

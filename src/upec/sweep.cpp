@@ -5,6 +5,7 @@
 
 #include "upec/alg1.h"
 #include "upec/engine.h"
+#include "util/trace.h"
 
 namespace upec {
 
@@ -175,7 +176,10 @@ SweepOutcome sweep_sequential_incremental(UpecContext& ctx,
 SweepOutcome sweep_frame(UpecContext& ctx, const std::string& property_name,
                          const std::vector<encode::Lit>& assumptions, const StateSet& S,
                          unsigned frame, bool saturate) {
+  util::trace::Span span("upec.sweep_frame", "upec");
+  span.arg("frame", std::uint64_t{frame});
   std::vector<rtlir::StateVarId> members = S.to_vector();
+  span.arg("candidates", static_cast<std::uint64_t>(members.size()));
   SweepOutcome out;
 
   // UNSAT-core frontier pruning (incremental mode, saturating sweeps only —
@@ -260,6 +264,9 @@ std::optional<ipc::Waveform> extract_pers_waveform(UpecContext& ctx,
                                                    const std::vector<encode::Lit>& assumptions,
                                                    const SweepOutcome& out, unsigned frame,
                                                    IterationLog& log, double& total_seconds) {
+  util::trace::Span span("upec.waveform", "upec");
+  span.arg("frame", std::uint64_t{frame});
+  span.arg("pers_hits", static_cast<std::uint64_t>(out.pers_hits.size()));
   ipc::CheckResult check;
   if (ctx.options.incremental_sweeps) {
     // The persistent hits are registered candidates (pers_hits ⊆ s_cex ⊆ the

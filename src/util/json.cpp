@@ -1,0 +1,458 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace upec::util {
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+void JsonWriter::escape_into(std::string& out, std::string_view s) {
+  for (unsigned char c : s) {
+    switch (c) {
+    case '"': out += "\\\""; break;
+    case '\\': out += "\\\\"; break;
+    case '\b': out += "\\b"; break;
+    case '\f': out += "\\f"; break;
+    case '\n': out += "\\n"; break;
+    case '\r': out += "\\r"; break;
+    case '\t': out += "\\t"; break;
+    default:
+      if (c < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        out += buf;
+      } else {
+        out += static_cast<char>(c);
+      }
+    }
+  }
+}
+
+std::string JsonWriter::escaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  escape_into(out, s);
+  return out;
+}
+
+void JsonWriter::comma_for_value() {
+  if (stack_.empty())
+    return;
+  Frame& top = stack_.back();
+  if (top.kind == 'a') {
+    if (top.has_members)
+      out_ += ',';
+    top.has_members = true;
+  } else {
+    // Object: the comma was placed by key(); just consume the pending key.
+    top.key_pending = false;
+    top.has_members = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_for_value();
+  out_ += '{';
+  stack_.push_back(Frame{'o'});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  if (!stack_.empty())
+    stack_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_for_value();
+  out_ += '[';
+  stack_.push_back(Frame{'a'});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  if (!stack_.empty())
+    stack_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (!stack_.empty()) {
+    Frame& top = stack_.back();
+    if (top.has_members)
+      out_ += ',';
+    top.key_pending = true;
+  }
+  out_ += '"';
+  escape_into(out_, k);
+  out_ += "\":";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  comma_for_value();
+  out_ += '"';
+  escape_into(out_, s);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  comma_for_value();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma_for_value();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma_for_value();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v))
+    return value_null();
+  comma_for_value();
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_null() {
+  comma_for_value();
+  out_ += "null";
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// JsonValue helpers
+// ---------------------------------------------------------------------------
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type != Type::Object)
+    return nullptr;
+  for (const auto& [k, v] : object)
+    if (k == key)
+      return &v;
+  return nullptr;
+}
+
+double JsonValue::number_or(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return (v && v->type == Type::Number) ? v->number : fallback;
+}
+
+// ---------------------------------------------------------------------------
+// Strict recursive-descent parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool run(JsonValue& out) {
+    skip_ws();
+    if (!parse_value(out, 0))
+      return false;
+    skip_ws();
+    if (pos_ != text_.size())
+      return fail("trailing characters after JSON value");
+    return true;
+  }
+
+private:
+  static constexpr int kMaxDepth = 256;
+
+  bool fail(const char* msg) {
+    if (error_ && error_->empty())
+      *error_ = "offset " + std::to_string(pos_) + ": " + msg;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+        ++pos_;
+      else
+        break;
+    }
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      return fail("invalid literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth)
+      return fail("nesting too deep");
+    if (eof())
+      return fail("unexpected end of input");
+    switch (peek()) {
+    case '{': return parse_object(out, depth);
+    case '[': return parse_array(out, depth);
+    case '"':
+      out.type = JsonValue::Type::String;
+      return parse_string(out.string);
+    case 't':
+      out.type = JsonValue::Type::Bool;
+      out.boolean = true;
+      return literal("true");
+    case 'f':
+      out.type = JsonValue::Type::Bool;
+      out.boolean = false;
+      return literal("false");
+    case 'n':
+      out.type = JsonValue::Type::Null;
+      return literal("null");
+    default:
+      return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out, int depth) {
+    out.type = JsonValue::Type::Object;
+    ++pos_; // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (eof() || peek() != '"')
+        return fail("expected object key string");
+      std::string key;
+      if (!parse_string(key))
+        return false;
+      skip_ws();
+      if (eof() || peek() != ':')
+        return fail("expected ':' after object key");
+      ++pos_;
+      skip_ws();
+      JsonValue member;
+      if (!parse_value(member, depth + 1))
+        return false;
+      out.object.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (eof())
+        return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(JsonValue& out, int depth) {
+    out.type = JsonValue::Type::Array;
+    ++pos_; // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      JsonValue element;
+      if (!parse_value(element, depth + 1))
+        return false;
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (eof())
+        return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  static int hex_digit(char c) {
+    if (c >= '0' && c <= '9')
+      return c - '0';
+    if (c >= 'a' && c <= 'f')
+      return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+      return c - 'A' + 10;
+    return -1;
+  }
+
+  // Appends a code point as UTF-8. Surrogate pairs are handled by the caller.
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parse_hex4(std::uint32_t& out) {
+    if (pos_ + 4 > text_.size())
+      return fail("truncated \\u escape");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      int d = hex_digit(text_[pos_ + i]);
+      if (d < 0)
+        return fail("invalid hex digit in \\u escape");
+      v = (v << 4) | static_cast<std::uint32_t>(d);
+    }
+    pos_ += 4;
+    out = v;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_; // opening quote
+    for (;;) {
+      if (eof())
+        return fail("unterminated string");
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20)
+        return fail("raw control character in string");
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_; // backslash
+      if (eof())
+        return fail("truncated escape sequence");
+      char e = text_[pos_++];
+      switch (e) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        std::uint32_t cp = 0;
+        if (!parse_hex4(cp))
+          return false;
+        if (cp >= 0xD800 && cp <= 0xDBFF) {
+          // High surrogate: require a paired \uDC00-\uDFFF.
+          if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+              text_[pos_ + 1] != 'u')
+            return fail("unpaired high surrogate");
+          pos_ += 2;
+          std::uint32_t low = 0;
+          if (!parse_hex4(low))
+            return false;
+          if (low < 0xDC00 || low > 0xDFFF)
+            return fail("invalid low surrogate");
+          cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+        } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+          return fail("unpaired low surrogate");
+        }
+        append_utf8(out, cp);
+        break;
+      }
+      default:
+        return fail("invalid escape character");
+      }
+    }
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-')
+      ++pos_;
+    if (eof() || peek() < '0' || peek() > '9')
+      return fail("invalid number");
+    if (peek() == '0') {
+      ++pos_; // no leading zeros
+    } else {
+      while (!eof() && peek() >= '0' && peek() <= '9')
+        ++pos_;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || peek() < '0' || peek() > '9')
+        return fail("digit required after decimal point");
+      while (!eof() && peek() >= '0' && peek() <= '9')
+        ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-'))
+        ++pos_;
+      if (eof() || peek() < '0' || peek() > '9')
+        return fail("digit required in exponent");
+      while (!eof() && peek() >= '0' && peek() <= '9')
+        ++pos_;
+    }
+    out.type = JsonValue::Type::Number;
+    std::string token(text_.substr(start, pos_ - start));
+    out.number = std::strtod(token.c_str(), nullptr);
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string* error_;
+};
+
+} // namespace
+
+bool parse_json(std::string_view text, JsonValue& out, std::string* error) {
+  if (error)
+    error->clear();
+  Parser p(text, error);
+  out = JsonValue{};
+  return p.run(out);
+}
+
+} // namespace upec::util

@@ -1,0 +1,100 @@
+// Dependency-free JSON writing and (strict) parsing.
+//
+// The writer backs every machine-readable artifact the engine emits — the
+// Chrome trace-event stream (util/trace.h), the metrics snapshot
+// (util/metrics.h), and the upec JSON reports (upec/report_json.h). It is
+// deliberately tiny: proper string escaping, automatic comma placement, and
+// nothing else. Key order is whatever the caller writes — every emitter in
+// this repo writes keys in a fixed (sorted or schema) order so artifacts
+// diff cleanly across runs.
+//
+// The parser exists for the parse-back tests and tooling: a strict
+// recursive-descent reader that rejects everything RFC 8259 rejects
+// (trailing commas, bare control characters in strings, malformed escapes,
+// trailing garbage). Objects preserve member order so "stable key order"
+// is a testable property, not an aspiration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace upec::util {
+
+class JsonWriter {
+public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Object member key; must be followed by exactly one value (or container).
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  // size_t is one of the above on every supported ABI; no separate overload
+  // (it would collide with uint64_t on LP64).
+  // Non-finite doubles have no JSON spelling; they are emitted as null.
+  JsonWriter& value(double v);
+  JsonWriter& value_null();
+
+  // The document so far. Callers are expected to have closed every container.
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+  // Appends `s` escaped per RFC 8259 (without the surrounding quotes):
+  // ", \, and control characters; everything else (UTF-8 included) verbatim.
+  static void escape_into(std::string& out, std::string_view s);
+  static std::string escaped(std::string_view s);
+
+private:
+  void comma_for_value();
+  std::string out_;
+  // One frame per open container: 'o'/'a', plus whether it has members yet
+  // and (objects) whether a key is pending its value.
+  struct Frame {
+    char kind;
+    bool has_members = false;
+    bool key_pending = false;
+  };
+  std::vector<Frame> stack_;
+};
+
+// Parsed JSON value. Objects keep member order (vector of pairs), which the
+// round-trip tests rely on to pin the writers' stable key order.
+struct JsonValue {
+  enum class Type : std::uint8_t { Null, Bool, Number, String, Array, Object };
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return type == Type::Null; }
+  bool is_object() const { return type == Type::Object; }
+  bool is_array() const { return type == Type::Array; }
+  bool is_string() const { return type == Type::String; }
+  bool is_number() const { return type == Type::Number; }
+  bool is_bool() const { return type == Type::Bool; }
+
+  // Object member lookup (first match); nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+  // find() + number coercion conveniences for tests/tooling.
+  double number_or(std::string_view key, double fallback) const;
+};
+
+// Strict parse of exactly one JSON document (leading/trailing whitespace
+// allowed, anything else after the value is an error). Returns false and
+// fills `error` (if non-null) with a byte offset + message on failure.
+bool parse_json(std::string_view text, JsonValue& out, std::string* error = nullptr);
+
+} // namespace upec::util

@@ -9,6 +9,8 @@
 
 #include <algorithm>
 
+#include "util/trace.h"
+
 namespace upec::util {
 
 namespace {
@@ -109,6 +111,7 @@ bool Subprocess::spawn(const std::vector<std::string>& argv) {
   ::fcntl(stdin_fd_, F_SETFD, FD_CLOEXEC);
   ::fcntl(stdout_fd_, F_SETFD, FD_CLOEXEC);
   pid_ = pid;
+  trace::instant("subprocess.spawn", "subprocess");
   return true;
 }
 
@@ -180,10 +183,12 @@ bool Subprocess::try_wait(ExitStatus& status) {
   if (r != pid_) return false;
   status = decode(raw);
   pid_ = -1;
+  trace::instant("subprocess.exit", "subprocess");
   return true;
 }
 
 Subprocess::ExitStatus Subprocess::terminate(std::chrono::milliseconds grace) {
+  trace::Span span("subprocess.terminate", "subprocess");
   ExitStatus status;
   if (!running()) return status;
   close_stdin();  // EOF first: a well-behaved child exits on its own

@@ -1,0 +1,260 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "util/json.h"
+
+namespace upec::util::trace {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Event {
+  std::string name;
+  const char* cat = "";
+  char ph = 'X'; // 'X' complete, 'i' instant, 'C' counter
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+  std::uint32_t tid = 0;
+  std::uint64_t counter_value = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> uargs;
+  std::vector<std::pair<std::string, std::string>> sargs;
+};
+
+struct ThreadBuf {
+  std::vector<Event> events;
+  std::uint32_t tid = 0;
+  std::uint64_t gen = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  std::uint64_t gen = 0; // armed session generation; 0 = disarmed
+  std::uint64_t next_gen = 0;
+  Clock::time_point t0;
+  std::uint32_t next_tid = 1;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+// Fast path: recorders check these without the lock. g_gen mirrors
+// Registry::gen; it only changes under Registry::mu.
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_gen{0};
+
+// shared_ptr keeps the buffer alive for the flusher even if the owning
+// thread exits before the session ends.
+thread_local std::shared_ptr<ThreadBuf> t_buf;
+
+std::uint64_t now_us(Clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0)
+          .count());
+}
+
+// Returns this thread's buffer for the current session, registering it on
+// first use; nullptr when the session raced away.
+ThreadBuf* local_buf() {
+  const std::uint64_t gen = g_gen.load(std::memory_order_acquire);
+  if (gen == 0)
+    return nullptr;
+  if (t_buf && t_buf->gen == gen)
+    return t_buf.get();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.gen != gen)
+    return nullptr;
+  t_buf = std::make_shared<ThreadBuf>();
+  t_buf->gen = gen;
+  t_buf->tid = r.next_tid++;
+  r.bufs.push_back(t_buf);
+  return t_buf.get();
+}
+
+std::uint64_t session_start_us() {
+  // Only valid while armed; recorders reach here after the enabled() check.
+  return now_us(registry().t0);
+}
+
+void write_args(JsonWriter& w, const Event& e) {
+  if (e.ph == 'C') {
+    w.key("args").begin_object();
+    w.key("value").value(e.counter_value);
+    w.end_object();
+    return;
+  }
+  if (e.uargs.empty() && e.sargs.empty())
+    return;
+  w.key("args").begin_object();
+  for (const auto& [k, v] : e.uargs)
+    w.key(k).value(v);
+  for (const auto& [k, v] : e.sargs)
+    w.key(k).value(v);
+  w.end_object();
+}
+
+} // namespace
+
+// Acquire pairs with the release store in TraceSession's constructor so a
+// recorder that sees enabled==true also sees the session's t0.
+bool enabled() { return g_enabled.load(std::memory_order_acquire); }
+
+TraceSession::TraceSession(std::string path) : path_(std::move(path)) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.gen != 0)
+    return; // another session is armed; stay inert
+  r.gen = ++r.next_gen;
+  r.t0 = Clock::now();
+  r.bufs.clear();
+  r.next_tid = 1;
+  g_gen.store(r.gen, std::memory_order_release);
+  g_enabled.store(true, std::memory_order_release);
+  active_ = true;
+}
+
+TraceSession::~TraceSession() {
+  if (active_ && !flushed_)
+    flush();
+}
+
+bool TraceSession::flush() {
+  if (!active_ || flushed_)
+    return false;
+  flushed_ = true;
+
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    g_enabled.store(false, std::memory_order_release);
+    g_gen.store(0, std::memory_order_release);
+    r.gen = 0;
+    bufs.swap(r.bufs);
+  }
+
+  std::vector<const Event*> events;
+  for (const auto& buf : bufs)
+    for (const Event& e : buf->events)
+      events.push_back(&e);
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event* a, const Event* b) {
+                     if (a->ts_us != b->ts_us)
+                       return a->ts_us < b->ts_us;
+                     if (a->tid != b->tid)
+                       return a->tid < b->tid;
+                     // Longer span first so parents precede children at
+                     // equal start times.
+                     return a->dur_us > b->dur_us;
+                   });
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+  for (const Event* e : events) {
+    w.begin_object();
+    w.key("name").value(e->name);
+    w.key("cat").value(e->cat);
+    w.key("ph").value(std::string_view(&e->ph, 1));
+    w.key("ts").value(e->ts_us);
+    if (e->ph == 'X')
+      w.key("dur").value(e->dur_us);
+    if (e->ph == 'i')
+      w.key("s").value("t");
+    w.key("pid").value(std::uint64_t{1});
+    w.key("tid").value(std::uint64_t{e->tid});
+    write_args(w, *e);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (!f)
+    return false;
+  const std::string& doc = w.str();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+Span::Span(std::string_view name, const char* cat) {
+  if (!enabled())
+    return;
+  live_ = true;
+  name_ = name;
+  cat_ = cat;
+  t0_us_ = session_start_us();
+}
+
+Span::~Span() {
+  if (!live_)
+    return;
+  ThreadBuf* buf = local_buf();
+  if (!buf)
+    return; // session flushed while the span was open
+  const std::uint64_t end = now_us(registry().t0);
+  Event e;
+  e.name = std::move(name_);
+  e.cat = cat_;
+  e.ph = 'X';
+  e.ts_us = t0_us_;
+  e.dur_us = end >= t0_us_ ? end - t0_us_ : 0;
+  e.tid = buf->tid;
+  e.uargs = std::move(uargs_);
+  e.sargs = std::move(sargs_);
+  buf->events.push_back(std::move(e));
+}
+
+void Span::arg(const char* key, std::uint64_t value) {
+  if (live_)
+    uargs_.emplace_back(key, value);
+}
+
+void Span::arg(const char* key, std::string_view value) {
+  if (live_)
+    sargs_.emplace_back(key, std::string(value));
+}
+
+void instant(std::string_view name, const char* cat) {
+  if (!enabled())
+    return;
+  ThreadBuf* buf = local_buf();
+  if (!buf)
+    return;
+  Event e;
+  e.name = std::string(name);
+  e.cat = cat;
+  e.ph = 'i';
+  e.ts_us = session_start_us();
+  e.tid = buf->tid;
+  buf->events.push_back(std::move(e));
+}
+
+void counter(std::string_view name, std::uint64_t value) {
+  if (!enabled())
+    return;
+  ThreadBuf* buf = local_buf();
+  if (!buf)
+    return;
+  Event e;
+  e.name = std::string(name);
+  e.cat = "metric";
+  e.ph = 'C';
+  e.ts_us = session_start_us();
+  e.tid = buf->tid;
+  e.counter_value = value;
+  buf->events.push_back(std::move(e));
+}
+
+} // namespace upec::util::trace

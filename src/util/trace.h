@@ -1,0 +1,94 @@
+// Low-overhead span/instant tracer emitting Chrome trace-event JSON.
+//
+// Recording model: one process-global session at a time. `TraceSession`
+// (RAII) arms the tracer; `Span` (RAII), `instant()`, and `counter()`
+// record events into lock-free thread-local buffers — a recording thread
+// takes the registry lock only once per session (to register its buffer),
+// never per event. The session destructor (or an explicit `flush()`)
+// collects every buffer, sorts events by timestamp, and writes a
+// `{"traceEvents": [...]}` document that Perfetto / chrome://tracing loads
+// directly. Spans become "X" (complete) events with microsecond ts/dur.
+//
+// Determinism contract: the tracer only *records* — nothing in the engine
+// may branch on whether tracing is armed or on any recorded timestamp, so
+// traced and untraced runs stay bit-identical (pinned in test_determinism).
+// When no session is armed, Span construction is one atomic load.
+//
+// Buffers are generation-stamped: a pool thread that outlives one session
+// re-registers itself lazily on its first event under the next session, and
+// events recorded after a session flushed (generation mismatch) are dropped
+// rather than corrupting the next trace.
+//
+// Threading contract: arm/flush must not race with recording threads. In
+// the engine the session is owned by UpecContext and declared before the
+// scheduler member, so workers are joined before the flush runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace upec::util::trace {
+
+// True while a session is armed. Cheap (one atomic load); callers may
+// use it to skip building expensive span *arguments*, never to change
+// engine behavior.
+bool enabled();
+
+class TraceSession {
+public:
+  // Arms the global tracer, targeting `path`. If another session is already
+  // armed, this one is inert (`active() == false`) and the existing session
+  // keeps recording — nested sessions are refused, not stacked.
+  explicit TraceSession(std::string path);
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  bool active() const { return active_; }
+
+  // Disarms the tracer, serializes all recorded events to `path`, and
+  // returns whether the file was written. Idempotent; also run by the
+  // destructor. Must not race with threads still recording.
+  bool flush();
+
+private:
+  std::string path_;
+  bool active_ = false;
+  bool flushed_ = false;
+};
+
+// RAII span: construction stamps the start time, destruction records a
+// complete ("X") event covering the scope. `name`/`cat` are copied, so
+// dynamic strings are fine. Arguments attached via arg() appear under the
+// event's "args" object in the trace viewer.
+class Span {
+public:
+  explicit Span(std::string_view name, const char* cat = "upec");
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void arg(const char* key, std::uint64_t value);
+  void arg(const char* key, std::string_view value);
+
+private:
+  bool live_ = false;
+  std::uint64_t t0_us_ = 0;
+  std::string name_;
+  const char* cat_ = "";
+  std::vector<std::pair<std::string, std::uint64_t>> uargs_;
+  std::vector<std::pair<std::string, std::string>> sargs_;
+};
+
+// Zero-duration marker event ("i", thread scope).
+void instant(std::string_view name, const char* cat = "upec");
+
+// Counter sample ("C"); the viewer plots `value` over time per name.
+void counter(std::string_view name, std::uint64_t value);
+
+} // namespace upec::util::trace

@@ -8,6 +8,7 @@
 // secure countermeasure) for Alg. 1 and Alg. 2.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -291,6 +292,55 @@ TEST(Determinism, VulnerableAlg2IdenticalAcrossThreadCounts) {
   EXPECT_EQ(seq.persistent_hits, par.persistent_hits);
   EXPECT_EQ(seq.full_cex, par.full_cex);
   EXPECT_EQ(seq.waveform.has_value(), par.waveform.has_value());
+}
+
+VerifyOptions with_trace(VerifyOptions options, unsigned threads, const std::string& path) {
+  options.threads = threads;
+  options.trace_path = path;
+  return options;
+}
+
+TEST(Determinism, VulnerableTraceToggleIdentical) {
+  // Tracing only records — spans and counters observe the run without
+  // synchronizing it differently or touching the solvers. Verdicts and
+  // frontiers must be bit-identical with the trace session on or off, at any
+  // thread count.
+  const soc::Soc soc = small_soc();
+  Alg1Options opts;
+  opts.extract_waveform = false;
+  const Alg1Result seq = verify_2cycle(soc, with_threads({}, 1), opts);
+  ASSERT_EQ(seq.verdict, Verdict::Vulnerable);
+  for (unsigned threads : {1u, 4u}) {
+    const std::string path = ::testing::TempDir() + "upec_determinism_trace_" +
+                             std::to_string(threads) + ".json";
+    const Alg1Result traced = verify_2cycle(soc, with_trace({}, threads, path), opts);
+    SCOPED_TRACE("threads=" + std::to_string(threads) + " trace=on");
+    expect_same_alg1(seq, traced);
+  }
+}
+
+VerifyOptions with_progress(VerifyOptions options, unsigned threads, std::uint64_t every) {
+  options.threads = threads;
+  options.progress_conflicts = every;
+  return options;
+}
+
+TEST(Determinism, SecureProgressToggleIdentical) {
+  // The progress hook samples counters the solver already maintains and the
+  // deadline clock only inside the callback — it must never steer the
+  // search. Secure (UNSAT-heavy) workload, heartbeats on main and workers.
+  const soc::Soc soc = small_soc();
+  const Alg1Result seq = verify_2cycle(soc, with_threads(countermeasure_options(), 1));
+  ASSERT_EQ(seq.verdict, Verdict::Secure);
+  for (unsigned threads : {1u, 4u}) {
+    VerifyOptions options = with_progress(countermeasure_options(), threads, 512);
+    std::atomic<std::uint64_t> heartbeats{0};
+    options.progress = [&heartbeats](const ProgressEvent&) { ++heartbeats; };
+    const Alg1Result par = verify_2cycle(soc, std::move(options));
+    SCOPED_TRACE("threads=" + std::to_string(threads) + " progress=on");
+    expect_same_alg1(seq, par);
+    EXPECT_GT(heartbeats.load(), 0u);
+  }
 }
 
 TEST(Determinism, NonSaturatingModeBypassesSchedulerAndStaysIdentical) {
